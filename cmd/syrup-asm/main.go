@@ -1,0 +1,109 @@
+// Command syrup-asm assembles, verifies, and disassembles Syrup policy
+// files (.syr). It is the offline half of syrupd's deployment pipeline:
+// the same assembler and verifier run here, so a policy that passes
+// syrup-asm will deploy.
+//
+// Usage:
+//
+//	syrup-asm [-D NAME=VALUE ...] [-q] <file.syr | builtin:NAME>
+//	syrup-asm -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"syrup/internal/ebpf"
+	"syrup/internal/policy"
+)
+
+type defineFlags map[string]int64
+
+func (d defineFlags) String() string { return "" }
+func (d defineFlags) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("define %q not in NAME=VALUE form", s)
+	}
+	v, err := strconv.ParseInt(val, 0, 64)
+	if err != nil {
+		return err
+	}
+	d[name] = v
+	return nil
+}
+
+func main() {
+	defines := defineFlags{}
+	flag.Var(defines, "D", "deploy-time define NAME=VALUE (repeatable)")
+	quiet := flag.Bool("q", false, "verify only; print nothing on success")
+	list := flag.Bool("list", false, "list built-in policies and exit")
+	flag.Parse()
+
+	if *list {
+		for _, n := range policy.Names() {
+			src := policy.MustSource(n)
+			f, err := ebpf.Assemble(src, nil)
+			status := "ok"
+			insns := 0
+			if err != nil {
+				status = "BROKEN: " + err.Error()
+			} else {
+				insns = len(f.Insns)
+			}
+			fmt.Printf("%-14s %3d LoC %4d insns  %s\n", n, f.SourceLines, insns, status)
+		}
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: syrup-asm [-D NAME=VALUE] [-q] <file.syr | builtin:NAME>")
+		os.Exit(2)
+	}
+
+	arg := flag.Arg(0)
+	var src, name string
+	if builtin, ok := strings.CutPrefix(arg, "builtin:"); ok {
+		s, err := policy.Source(builtin)
+		if err != nil {
+			fatal(err)
+		}
+		src, name = s, builtin
+	} else {
+		b, err := os.ReadFile(arg)
+		if err != nil {
+			fatal(err)
+		}
+		src, name = string(b), arg
+	}
+
+	f, err := ebpf.Assemble(src, defines)
+	if err != nil {
+		fatal(fmt.Errorf("assemble: %w", err))
+	}
+	insns, maps, table, err := f.Instantiate(nil)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := ebpf.Load(name, insns, ebpf.LoadOptions{MapTable: table})
+	if err != nil {
+		fatal(err)
+	}
+	if *quiet {
+		return
+	}
+	fmt.Printf("; %s: %d source lines, %d instructions, %d map(s) — verified\n",
+		name, f.SourceLines, prog.Len(), len(maps))
+	for _, spec := range f.Maps {
+		fmt.Printf(";   map %-16s %-10s key=%d value=%d entries=%d\n",
+			spec.Name, spec.Type, spec.KeySize, spec.ValueSize, spec.MaxEntries)
+	}
+	fmt.Print(prog.Disassemble())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "syrup-asm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,137 @@
+// Command syrup-bench regenerates the paper's tables and figures on the
+// simulated host and prints them as aligned text tables.
+//
+// Usage:
+//
+//	syrup-bench [-fast] [-points N] [-seeds N] fig2|fig6|fig7|fig8|fig9a|fig9b|table2|table3|ablation-late|ablation-rfs|all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"syrup/internal/experiments"
+)
+
+func main() {
+	fast := flag.Bool("fast", false, "use short measurement windows (quick, noisier)")
+	points := flag.Int("points", 0, "override number of load points per series")
+	seeds := flag.Int("seeds", 0, "override seeds per point (fig2/fig6)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: syrup-bench [flags] fig2|fig6|fig7|fig8|fig9a|fig9b|table2|table3|ablation-late|ablation-rfs|all\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	windows := experiments.DefaultWindows
+	if *fast {
+		windows = experiments.FastWindows
+	}
+
+	run := func(name string) {
+		start := time.Now()
+		switch name {
+		case "fig2":
+			cfg := experiments.DefaultFig2()
+			cfg.Windows = windows
+			if *points > 0 {
+				cfg.Loads = resize(cfg.Loads, *points)
+			}
+			if *seeds > 0 {
+				cfg.Seeds = *seeds
+			}
+			fmt.Print(experiments.Fig2(cfg).Format())
+		case "fig6":
+			cfg := experiments.DefaultFig6()
+			cfg.Windows = windows
+			if *points > 0 {
+				cfg.Loads = resize(cfg.Loads, *points)
+			}
+			if *seeds > 0 {
+				cfg.Seeds = *seeds
+			}
+			fmt.Print(experiments.Fig6(cfg).Format())
+		case "fig7":
+			cfg := experiments.DefaultFig7()
+			cfg.Windows = windows
+			if *points > 0 {
+				cfg.LSLoads = resize(cfg.LSLoads, *points)
+			}
+			fmt.Print(experiments.Fig7(cfg).Format())
+		case "fig8":
+			cfg := experiments.DefaultFig8()
+			cfg.Windows = windows
+			if *points > 0 {
+				cfg.Loads = resize(cfg.Loads, *points)
+			}
+			fmt.Print(experiments.Fig8(cfg).Format())
+		case "fig9a":
+			cfg := experiments.DefaultFig9a()
+			cfg.Windows = windows
+			if *points > 0 {
+				cfg.Loads = resize(cfg.Loads, *points)
+			}
+			fmt.Print(experiments.Fig9(cfg).Format())
+		case "fig9b":
+			cfg := experiments.DefaultFig9b()
+			cfg.Windows = windows
+			if *points > 0 {
+				cfg.Loads = resize(cfg.Loads, *points)
+			}
+			fmt.Print(experiments.Fig9(cfg).Format())
+		case "ablation-late":
+			cfg := experiments.DefaultAblationLateBinding()
+			cfg.Windows = windows
+			if *points > 0 {
+				cfg.Loads = resize(cfg.Loads, *points)
+			}
+			fmt.Print(experiments.AblationLateBinding(cfg).Format())
+		case "ablation-rfs":
+			cfg := experiments.DefaultAblationRFS()
+			cfg.Windows = windows
+			if *points > 0 {
+				cfg.Loads = resize(cfg.Loads, *points)
+			}
+			fmt.Print(experiments.AblationRFS(cfg).Format())
+		case "table2":
+			rows, err := experiments.Table2()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "table2: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Print(experiments.FormatTable2(rows))
+		case "table3":
+			fmt.Print(experiments.FormatTable3(experiments.Table3()))
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		fmt.Printf("\n[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	if flag.Arg(0) == "all" {
+		for _, name := range []string{"fig2", "fig6", "fig7", "fig8", "fig9a", "fig9b", "table2", "table3", "ablation-late", "ablation-rfs"} {
+			run(name)
+		}
+		return
+	}
+	run(flag.Arg(0))
+}
+
+// resize picks n approximately evenly spaced entries from loads.
+func resize(loads []float64, n int) []float64 {
+	if n >= len(loads) || n < 2 {
+		return loads
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = loads[i*(len(loads)-1)/(n-1)]
+	}
+	return out
+}

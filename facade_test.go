@@ -1,0 +1,143 @@
+package syrup_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"syrup"
+	"syrup/internal/ebpf"
+	"syrup/internal/ghost"
+	"syrup/internal/kernel"
+	"syrup/internal/policy"
+	"syrup/internal/sim"
+)
+
+func TestDeployPolicyFile(t *testing.T) {
+	host := syrup.NewHost(syrup.HostConfig{})
+	app, err := host.RegisterApp(1, 1000, 9000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.NewUDPSocket(9000, "w")
+
+	path := filepath.Join(t.TempDir(), "pass.syr")
+	if err := os.WriteFile(path, []byte("r0 = PASS\nexit\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dep, err := app.DeployPolicyFile(path, syrup.HookSocketSelect, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.Program.Len() != 2 || dep.SourceLines != 2 {
+		t.Fatalf("deployment: %+v", dep)
+	}
+	if _, err := app.DeployPolicyFile("/does/not/exist.syr", syrup.HookSocketSelect, nil); err == nil {
+		t.Fatal("missing file deployed")
+	}
+}
+
+func TestDeployThreadPolicyViaFacade(t *testing.T) {
+	host := syrup.NewHost(syrup.HostConfig{NumCPUs: 3})
+	app, err := host.RegisterApp(1, 1000, 9000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent, err := app.DeployThreadPolicy(policy.FIFO{}, 2, []int{0, 1}, ghost.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := 0
+	for i := 0; i < 3; i++ {
+		th := host.Machine.NewThread("w", 1, host.Machine.AffinityAll(), func(th *kernel.Thread) {
+			th.Exec(10*sim.Microsecond, func() { done++; th.Exit() })
+		})
+		if err := agent.Register(th); err != nil {
+			t.Fatal(err)
+		}
+		th.Wake()
+	}
+	host.Run()
+	if done != 3 {
+		t.Fatalf("ghost ran %d/3 threads via facade", done)
+	}
+}
+
+func TestRegisterXSKViaFacade(t *testing.T) {
+	host := syrup.NewHost(syrup.HostConfig{NICQueues: 1})
+	app, err := host.RegisterApp(1, 1000, 9000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sock, idx := app.RegisterXSK(9000, 0, 64, "xsk0")
+	if idx != 0 || sock == nil {
+		t.Fatalf("xsk registration: %v %d", sock, idx)
+	}
+	if _, err := app.DeployPolicy("r0 = 0\nexit\n", syrup.HookXDPDrv, nil); err != nil {
+		t.Fatal(err)
+	}
+	host.NIC.Receive(testPacket(1, 9000))
+	host.Run()
+	if sock.Len() != 1 {
+		t.Fatalf("xsk did not receive: %d", sock.Len())
+	}
+}
+
+func TestCreateMapAndRunFor(t *testing.T) {
+	host := syrup.NewHost(syrup.HostConfig{})
+	app, err := host.RegisterApp(1, 1000, 9000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := app.CreateMap(ebpf.MapSpec{Name: "x", Type: ebpf.MapArray, KeySize: 4, ValueSize: 8, MaxEntries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.UpdateElem(1, 42); err != nil {
+		t.Fatal(err)
+	}
+	if m.Raw() == nil {
+		t.Fatal("raw accessor nil")
+	}
+	// Duplicate creation fails.
+	if _, err := app.CreateMap(ebpf.MapSpec{Name: "x", Type: ebpf.MapArray, KeySize: 4, ValueSize: 8, MaxEntries: 2}); err == nil {
+		t.Fatal("duplicate map created")
+	}
+	// MapOpen with the wrong uid (another app handle) fails.
+	app2, err := host.RegisterApp(2, 2000, 9001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app2.MapOpen("/syrup/1/x"); err == nil {
+		t.Fatal("foreign app opened a private map")
+	}
+	// RunFor advances virtual time even with an empty queue.
+	before := host.Now()
+	host.RunFor(5 * syrup.Millisecond)
+	if host.Now() != before+5*syrup.Millisecond {
+		t.Fatalf("RunFor: %v -> %v", before, host.Now())
+	}
+	if app.ID() != 1 {
+		t.Fatalf("app id = %d", app.ID())
+	}
+}
+
+func TestRegisterAppErrorsViaFacade(t *testing.T) {
+	host := syrup.NewHost(syrup.HostConfig{})
+	if _, err := host.RegisterApp(1, 1000, 9000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := host.RegisterApp(2, 2000, 9000); err == nil {
+		t.Fatal("port conflict accepted")
+	}
+	// Deploy on an unverifiable policy errors through the facade.
+	app, _ := host.RegisterApp(3, 3000, 9100)
+	app.NewUDPSocket(9100, "w")
+	unsafe := "r2 = *(u64 *)(r1 + 0)\nr0 = *(u64 *)(r2 + 0)\nexit\n"
+	if _, err := app.DeployPolicy(unsafe, syrup.HookSocketSelect, nil); err == nil {
+		t.Fatal("unsafe policy deployed via facade")
+	}
+	if _, err := app.DeployBuiltin("nope", syrup.HookSocketSelect, nil); err == nil {
+		t.Fatal("unknown builtin deployed")
+	}
+}

@@ -1,0 +1,3 @@
+module syrup
+
+go 1.22

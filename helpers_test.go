@@ -1,0 +1,21 @@
+package syrup_test
+
+import "syrup/internal/nic"
+
+// socketish adapts a socket's length accessor for table-driven checks.
+type socketish struct {
+	len func() int
+}
+
+// testPacket builds a packet with a distinct source port per id so flows
+// spread under hash steering.
+func testPacket(id uint64, dstPort uint16) *nic.Packet {
+	return &nic.Packet{
+		ID:      id,
+		SrcIP:   0x0a000001,
+		DstIP:   0x0a000002,
+		SrcPort: uint16(40000 + id%50),
+		DstPort: dstPort,
+		Payload: make([]byte, 32),
+	}
+}

@@ -1,0 +1,232 @@
+package rocksdb
+
+import (
+	"fmt"
+
+	"syrup/internal/ebpf"
+	"syrup/internal/kernel"
+	"syrup/internal/netstack"
+	"syrup/internal/nic"
+	"syrup/internal/policy"
+	"syrup/internal/sim"
+)
+
+// ServiceModel produces per-request virtual service times.
+type ServiceModel func(rng interface{ Float64() float64 }, reqType uint64) sim.Time
+
+// DefaultServiceModel is the paper's RocksDB profile: GETs uniform
+// 10–12 µs, SCANs ≈ 700 µs ±5 %, PUTs like GETs.
+func DefaultServiceModel(rng interface{ Float64() float64 }, reqType uint64) sim.Time {
+	switch reqType {
+	case policy.ReqSCAN:
+		return sim.Time(700_000 * (0.95 + 0.1*rng.Float64()))
+	default:
+		return sim.Time(10_000 + 2_000*rng.Float64())
+	}
+}
+
+// Config describes a RocksDB server deployment.
+type Config struct {
+	Port       uint16
+	App        uint32
+	NumThreads int
+	// PinToCores pins thread i to core i%NumCPUs (the 6-thread/6-core
+	// setups); false leaves placement to the scheduler (the 36-thread
+	// Fig. 8 setup).
+	PinToCores bool
+	// Service overrides DefaultServiceModel.
+	Service ServiceModel
+	// RecvOverhead and SendOverhead are the per-request syscall+copy+
+	// reply costs around the storage operation (≈1.25 µs each,
+	// calibrated so 6 GET-serving threads saturate near the paper's
+	// ≈450 K RPS in Fig. 2).
+	RecvOverhead sim.Time
+	SendOverhead sim.Time
+	// ScanState, when set, is updated with the request type each thread
+	// is processing (the userspace half of SCAN Avoid, Fig. 5b, also read
+	// by the ghOSt GET-priority policy).
+	ScanState *ebpf.Map
+	// OnComplete reports request completions (server-side finish time).
+	OnComplete func(reqID uint64, finish sim.Time)
+	// Store is the shared storage engine; nil creates a preloaded one.
+	Store *Store
+	// KeySpace bounds the preloaded keys touched by real operations.
+	KeySpace int
+	// FlowLocalityBonus models Receive Flow Steering's cache benefit
+	// (§2.1): each thread keeps a small warm set of recently served flows
+	// (flowLRUSize entries); serving a warm flow shrinks the request's
+	// service time by this fraction. Hash steering pins each flow to one
+	// thread and keeps it warm; policies that spray flows across threads
+	// forfeit the discount.
+	FlowLocalityBonus float64
+}
+
+// flowLRUSize is the per-thread warm flow-context capacity.
+const flowLRUSize = 4
+
+// Server is a multi-threaded SO_REUSEPORT UDP RocksDB server.
+type Server struct {
+	cfg     Config
+	eng     *sim.Engine
+	store   *Store
+	threads []*kernel.Thread
+	sockets []*netstack.Socket
+
+	// Processed counts completed requests per type.
+	ProcessedGET  uint64
+	ProcessedSCAN uint64
+	// LocalityHits counts requests served from a thread's warm flow set.
+	LocalityHits uint64
+
+	warmFlows [][]uint64 // per-thread LRU of recently served flows
+}
+
+// NewServer creates the server's threads and sockets. Each worker thread
+// owns exactly one socket in the port's reuseport group, so a Socket
+// Select verdict of i schedules onto thread i.
+func NewServer(eng *sim.Engine, m *kernel.Machine, stack *netstack.Stack, cfg Config) *Server {
+	if cfg.NumThreads <= 0 {
+		panic("rocksdb: NumThreads must be positive")
+	}
+	if cfg.Service == nil {
+		cfg.Service = DefaultServiceModel
+	}
+	if cfg.RecvOverhead == 0 {
+		cfg.RecvOverhead = 1250 * sim.Nanosecond
+	}
+	if cfg.SendOverhead == 0 {
+		cfg.SendOverhead = 1250 * sim.Nanosecond
+	}
+	if cfg.KeySpace == 0 {
+		cfg.KeySpace = 10_000
+	}
+	s := &Server{cfg: cfg, eng: eng, store: cfg.Store, warmFlows: make([][]uint64, cfg.NumThreads)}
+	if s.store == nil {
+		s.store = NewStore()
+		s.store.Preload(cfg.KeySpace)
+	}
+	for i := 0; i < cfg.NumThreads; i++ {
+		i := i
+		sock, idx := stack.NewUDPSocket(cfg.Port, cfg.App, fmt.Sprintf("rocksdb-w%d", i))
+		if idx != i {
+			panic("rocksdb: socket index mismatch")
+		}
+		s.sockets = append(s.sockets, sock)
+		var affinity uint64
+		if cfg.PinToCores {
+			affinity = 1 << uint(i%m.NumCPUs())
+		}
+		th := m.NewThread(fmt.Sprintf("rocksdb-%d", i), cfg.App, affinity, func(th *kernel.Thread) {
+			s.workerLoop(th, i)
+		})
+		s.threads = append(s.threads, th)
+	}
+	return s
+}
+
+// Threads exposes the worker threads (for ghOSt registration).
+func (s *Server) Threads() []*kernel.Thread { return s.threads }
+
+// Sockets exposes the per-thread sockets.
+func (s *Server) Sockets() []*netstack.Socket { return s.sockets }
+
+// Store exposes the storage engine.
+func (s *Server) Store() *Store { return s.store }
+
+// Start wakes all worker threads.
+func (s *Server) Start() {
+	for _, th := range s.threads {
+		th.Wake()
+	}
+}
+
+// ThreadSlotType returns the request type thread i is currently marked as
+// processing (for ghOSt policies that read the cross-layer map).
+func (s *Server) ThreadSlotType(i int) uint64 {
+	if s.cfg.ScanState == nil {
+		return 0
+	}
+	v, _ := s.cfg.ScanState.LookupUint64(uint32(i))
+	return v
+}
+
+// touchFlow reports whether flow was warm on thread slot and promotes it
+// to the front of the thread's LRU.
+func (s *Server) touchFlow(slot int, flow uint64) bool {
+	lru := s.warmFlows[slot]
+	for i, f := range lru {
+		if f == flow {
+			copy(lru[1:i+1], lru[:i])
+			lru[0] = flow
+			return true
+		}
+	}
+	if len(lru) < flowLRUSize {
+		lru = append(lru, 0)
+	}
+	copy(lru[1:], lru)
+	lru[0] = flow
+	s.warmFlows[slot] = lru
+	return false
+}
+
+// workerLoop is the per-thread serve loop: recv → mark type → burn the
+// service time → perform the real storage op → reply → repeat.
+func (s *Server) workerLoop(th *kernel.Thread, slot int) {
+	sock := s.sockets[slot]
+	var loop func()
+	loop = func() {
+		pkt := sock.TryRecv()
+		if pkt == nil {
+			sock.WaitRecv(func() { th.Wake() })
+			th.Block(loop)
+			return
+		}
+		s.serve(th, slot, pkt, loop)
+	}
+	loop()
+}
+
+func (s *Server) serve(th *kernel.Thread, slot int, pkt *nic.Packet, loop func()) {
+	reqType, _, keyHash, reqID, ok := policy.DecodeHeader(pkt.Payload)
+	if !ok {
+		loop() // malformed request: ignore
+		return
+	}
+	if s.cfg.ScanState != nil {
+		// Userspace half of SCAN Avoid: record what we're processing.
+		s.cfg.ScanState.UpdateUint64(uint32(slot), reqType)
+	}
+	service := s.cfg.Service(s.eng.Rand(), reqType)
+	if s.cfg.FlowLocalityBonus > 0 {
+		flow := uint64(pkt.SrcIP)<<16 | uint64(pkt.SrcPort)
+		if s.touchFlow(slot, flow) {
+			s.LocalityHits++
+			service = sim.Time(float64(service) * (1 - s.cfg.FlowLocalityBonus))
+		}
+	}
+	total := s.cfg.RecvOverhead + service + s.cfg.SendOverhead
+	th.Exec(total, func() {
+		// Perform the real storage operation (virtual time already
+		// charged above).
+		key := Key(int(keyHash) % s.cfg.KeySpace)
+		switch reqType {
+		case policy.ReqSCAN:
+			s.store.Scan(key, 100)
+			s.ProcessedSCAN++
+		case policy.ReqPUT:
+			s.store.Put(key, "updated")
+			s.ProcessedGET++
+		default:
+			s.store.Get(key)
+			s.ProcessedGET++
+		}
+		if s.cfg.ScanState != nil {
+			s.cfg.ScanState.UpdateUint64(uint32(slot), policy.ReqGET)
+		}
+		if s.cfg.OnComplete != nil {
+			s.cfg.OnComplete(reqID, s.eng.Now())
+		}
+		loop()
+	})
+}

@@ -1,0 +1,157 @@
+package rocksdb
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestStorePutGet(t *testing.T) {
+	s := NewStore()
+	if _, ok := s.Get("missing"); ok {
+		t.Fatal("empty store returned a value")
+	}
+	s.Put("a", "1")
+	s.Put("b", "2")
+	s.Put("a", "3") // overwrite
+	if v, ok := s.Get("a"); !ok || v != "3" {
+		t.Fatalf("a = %q %v", v, ok)
+	}
+	if v, _ := s.Get("b"); v != "2" {
+		t.Fatalf("b = %q", v)
+	}
+}
+
+func TestStoreGetAcrossFlushes(t *testing.T) {
+	s := NewStore()
+	s.Put("k", "old")
+	s.Flush()
+	s.Put("k", "new")
+	if v, _ := s.Get("k"); v != "new" {
+		t.Fatalf("memtable should shadow runs: %q", v)
+	}
+	s.Flush()
+	if v, _ := s.Get("k"); v != "new" {
+		t.Fatalf("newest run should win: %q", v)
+	}
+	if s.Flushes != 2 {
+		t.Fatalf("flushes = %d", s.Flushes)
+	}
+}
+
+func TestStoreScanMergesAndDedups(t *testing.T) {
+	s := NewStore()
+	s.Put("a", "1")
+	s.Put("c", "old")
+	s.Flush()
+	s.Put("b", "2")
+	s.Put("c", "new")
+	got := s.Scan("a", 10)
+	want := []KV{{"a", "1"}, {"b", "2"}, {"c", "new"}}
+	if len(got) != len(want) {
+		t.Fatalf("scan = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scan[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Bounded scan.
+	if got := s.Scan("a", 2); len(got) != 2 || got[1].Key != "b" {
+		t.Fatalf("limited scan = %v", got)
+	}
+	// Scan from a midpoint.
+	if got := s.Scan("b", 10); len(got) != 2 || got[0].Key != "b" {
+		t.Fatalf("mid scan = %v", got)
+	}
+	// Scan past the end.
+	if got := s.Scan("zzz", 10); len(got) != 0 {
+		t.Fatalf("tail scan = %v", got)
+	}
+}
+
+func TestStoreAutoFlushAndCompaction(t *testing.T) {
+	s := NewStore()
+	n := memtableFlushSize*(maxRuns+2) + 17
+	for i := 0; i < n; i++ {
+		s.Put(Key(i%50000), fmt.Sprintf("v%d", i))
+	}
+	if s.Flushes == 0 {
+		t.Fatal("no automatic flushes")
+	}
+	if s.Compactions == 0 {
+		t.Fatal("no compactions")
+	}
+	if len(s.runs) > maxRuns+1 {
+		t.Fatalf("%d runs after compaction", len(s.runs))
+	}
+	// Data integrity after compaction: latest writes visible.
+	if v, ok := s.Get(Key((n - 1) % 50000)); !ok || v != fmt.Sprintf("v%d", n-1) {
+		t.Fatalf("post-compaction read: %q %v", v, ok)
+	}
+}
+
+// Property: the store agrees with a plain map under random puts/gets, and
+// scans return sorted, deduplicated keys.
+func TestPropertyStoreMatchesMap(t *testing.T) {
+	f := func(ops []uint16) bool {
+		s := NewStore()
+		oracle := map[string]string{}
+		for i, op := range ops {
+			k := Key(int(op) % 200)
+			v := fmt.Sprintf("v%d", i)
+			s.Put(k, v)
+			oracle[k] = v
+		}
+		for k, want := range oracle {
+			if got, ok := s.Get(k); !ok || got != want {
+				return false
+			}
+		}
+		scan := s.Scan("", 1000)
+		if len(scan) != len(oracle) {
+			return false
+		}
+		for i := 1; i < len(scan); i++ {
+			if scan[i-1].Key >= scan[i].Key {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPreloadAndLen(t *testing.T) {
+	s := NewStore()
+	s.Preload(500)
+	if got := s.Len(); got != 500 {
+		t.Fatalf("len = %d", got)
+	}
+	if _, ok := s.Get(Key(499)); !ok {
+		t.Fatal("preloaded key missing")
+	}
+}
+
+func BenchmarkStoreGet(b *testing.B) {
+	s := NewStore()
+	s.Preload(100_000)
+	rng := rand.New(rand.NewPCG(1, 2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Get(Key(int(rng.Int64N(100_000))))
+	}
+}
+
+func BenchmarkStoreScan100(b *testing.B) {
+	s := NewStore()
+	s.Preload(100_000)
+	rng := rand.New(rand.NewPCG(1, 2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Scan(Key(int(rng.Int64N(99_000))), 100)
+	}
+}

@@ -1,0 +1,103 @@
+package ebpf
+
+import (
+	"testing"
+)
+
+// BenchmarkVerifier measures end-to-end load (resolve + verify) cost for a
+// representative policy: what syrupd pays per deployment.
+func BenchmarkVerifier(b *testing.B) {
+	m := MustNewMap(MapSpec{Name: "m", Type: MapArray, KeySize: 4, ValueSize: 8, MaxEntries: 8})
+	tb := NewMapTable()
+	fd := tb.Register(m)
+	insns := []Instruction{StImm(4, R10, -4, 0)}
+	insns = append(insns, LoadMapFD(R1, fd)...)
+	insns = append(insns,
+		MovReg(R2, R10),
+		ALUImm(ALUAdd, R2, -4),
+		Call(HelperMapLookup),
+		JmpImm(JmpEq, R0, 0, 5),
+		Ldx(8, R6, R0, 0),
+		MovReg(R7, R6),
+		ALUImm(ALUAdd, R7, 1),
+		Stx(8, R0, R7, 0),
+		Ja(1),
+		MovImm(R6, 0),
+		MovReg(R0, R6),
+		ALUImm(ALUMod, R0, 6),
+		Exit(),
+	)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Load("bench", insns, LoadOptions{MapTable: tb}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAssemble measures .syr text assembly throughput.
+func BenchmarkAssemble(b *testing.B) {
+	src := `
+.const NUM_THREADS 6
+.map rr_state array 4 8 1
+  *(u32 *)(r10 - 4) = 0
+  r1 = map(rr_state)
+  r2 = r10
+  r2 += -4
+  call map_lookup_elem
+  if r0 == 0 goto pass
+  r6 = *(u64 *)(r0 + 0)
+  r7 = r6
+  r7 += 1
+  *(u64 *)(r0 + 0) = r7
+  r6 %= NUM_THREADS
+  r0 = r6
+  exit
+pass:
+  r0 = PASS
+  exit
+`
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Assemble(src, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInterpMapPolicy measures a map-touching policy per invocation —
+// the hot path of every simulated hook.
+func BenchmarkInterpMapPolicy(b *testing.B) {
+	src := `
+.map state array 4 8 1
+  *(u32 *)(r10 - 4) = 0
+  r1 = map(state)
+  r2 = r10
+  r2 += -4
+  call map_lookup_elem
+  if r0 == 0 goto pass
+  r6 = *(u64 *)(r0 + 0)
+  r6 += 1
+  *(u64 *)(r0 + 0) = r6
+  r6 %= 6
+  r0 = r6
+  exit
+pass:
+  r0 = PASS
+  exit
+`
+	p, _, err := AssembleAndLoad("bench", src, nil, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := &Ctx{Packet: make([]byte, 64)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := p.Run(ctx, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package ebpf
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// The verifier's core soundness property: any program it admits must
+// execute without memory faults on arbitrary inputs. We generate random
+// (biased-toward-plausible) instruction streams, load them, and run every
+// accepted program against adversarial packets. A runtime error from an
+// accepted program is a verifier hole; a panic anywhere is a bug outright.
+
+// randInsn produces one random instruction from a menu weighted toward
+// forms that have a chance of verifying.
+func randInsn(rng *rand.Rand, table *MapTable, fd int32) []Instruction {
+	reg := func() uint8 { return uint8(rng.IntN(10)) } // R0..R9
+	off := func() int16 { return int16(rng.IntN(64) - 32) }
+	imm := func() int32 { return int32(rng.IntN(256) - 64) }
+	switch rng.IntN(16) {
+	case 0:
+		return []Instruction{MovImm(reg(), imm())}
+	case 1:
+		return []Instruction{MovReg(reg(), reg())}
+	case 2:
+		ops := []uint8{ALUAdd, ALUSub, ALUMul, ALUDiv, ALUOr, ALUAnd, ALULsh, ALURsh, ALUMod, ALUXor, ALUArsh}
+		return []Instruction{ALUImm(ops[rng.IntN(len(ops))], reg(), imm())}
+	case 3:
+		ops := []uint8{ALUAdd, ALUSub, ALUXor, ALUAnd, ALUOr}
+		return []Instruction{ALUReg(ops[rng.IntN(len(ops))], reg(), reg())}
+	case 4:
+		return []Instruction{Ldx(1<<uint(rng.IntN(4)), reg(), reg(), off())}
+	case 5:
+		return []Instruction{Ldx(8, reg(), R1, int16(rng.IntN(5)*8-8))} // ctx-ish offsets
+	case 6:
+		return []Instruction{Stx(1<<uint(rng.IntN(4)), reg(), reg(), off())}
+	case 7:
+		return []Instruction{StImm(1<<uint(rng.IntN(4)), R10, int16(-8*(1+rng.IntN(8))), imm())}
+	case 8:
+		return []Instruction{Ldx(8, reg(), R10, int16(-8*(1+rng.IntN(8))))}
+	case 9:
+		ops := []uint8{JmpEq, JmpNe, JmpGt, JmpGe, JmpLt, JmpLe, JmpSGt, JmpSLt, JmpSet}
+		return []Instruction{JmpImm(ops[rng.IntN(len(ops))], reg(), imm(), int16(rng.IntN(8)))}
+	case 10:
+		return []Instruction{JmpReg(JmpGt, reg(), reg(), int16(rng.IntN(6)))}
+	case 11:
+		return []Instruction{Ja(int16(rng.IntN(4)))}
+	case 12:
+		helpers := []int32{HelperMapLookup, HelperMapUpdate, HelperPrandomU32, HelperKtimeGetNS, HelperGetSmpProcID}
+		return []Instruction{Call(helpers[rng.IntN(len(helpers))])}
+	case 13:
+		return LoadMapFD(reg(), fd)
+	case 14:
+		return []Instruction{XAdd(4+4*rng.IntN(2), reg(), reg(), off())}
+	default:
+		return []Instruction{Exit()}
+	}
+}
+
+func TestFuzzVerifierSoundness(t *testing.T) {
+	rng := rand.New(rand.NewPCG(0xfeed, 0xbeef))
+	m := MustNewMap(MapSpec{Name: "fz", Type: MapArray, KeySize: 4, ValueSize: 8, MaxEntries: 8})
+	table := NewMapTable()
+	fd := table.Register(m)
+
+	pkts := [][]byte{
+		nil,
+		{},
+		{0x01},
+		make([]byte, 7),
+		make([]byte, 8),
+		make([]byte, 64),
+		make([]byte, 1500),
+	}
+
+	const trials = 30000
+	accepted, ran := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		n := 2 + rng.IntN(24)
+		var insns []Instruction
+		for len(insns) < n {
+			insns = append(insns, randInsn(rng, table, fd)...)
+		}
+		insns = append(insns, MovImm(R0, 0), Exit())
+
+		// Neither loading nor running may ever panic.
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on fuzz program: %v\n%s", r, DisassembleProgram(insns))
+				}
+			}()
+			p, err := Load("fuzz", insns, LoadOptions{MapTable: table, Budget: 50_000})
+			if err != nil {
+				return // rejected: fine
+			}
+			accepted++
+			for _, pkt := range pkts {
+				ctx := &Ctx{Packet: pkt, Hash: rng.Uint32(), Port: uint32(rng.IntN(65536))}
+				if _, _, err := p.Run(ctx, nil); err != nil {
+					t.Fatalf("verifier admitted a faulting program (%v):\n%s", err, p.Disassemble())
+				}
+				ran++
+			}
+		}()
+	}
+	if accepted == 0 {
+		t.Fatal("fuzzer never produced an accepted program; generator too hostile to be useful")
+	}
+	t.Logf("fuzz: %d/%d programs accepted, %d executions, no faults", accepted, trials, ran)
+}
+
+// Random bytes through the assembler must never panic.
+func TestFuzzAssemblerNoPanic(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	tokens := []string{
+		"r0", "r1", "r10", "w3", "=", "+=", "%=", "goto", "if", "exit", "call",
+		"map_lookup_elem", "*(u64 *)", "(r1 + 0)", "lbl:", "lbl", ".map", ".const",
+		"array", "5", "-8", "0xff", "ll", "lock", "PASS", "\n",
+	}
+	for trial := 0; trial < 5000; trial++ {
+		var src string
+		for i := 0; i < rng.IntN(40); i++ {
+			src += tokens[rng.IntN(len(tokens))]
+			if rng.IntN(3) == 0 {
+				src += " "
+			}
+			if rng.IntN(5) == 0 {
+				src += "\n"
+			}
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("assembler panic on %q: %v", src, r)
+				}
+			}()
+			if f, err := Assemble(src, nil); err == nil {
+				// If it assembled, instantiation must not panic either.
+				f.Instantiate(nil)
+			}
+		}()
+	}
+}

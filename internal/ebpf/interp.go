@@ -1,0 +1,509 @@
+package ebpf
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Context layout offsets, the program-visible view of a packet hook
+// invocation (mirrors xdp_md / sk_reuseport_md: data and data_end pointers
+// plus a few read-only metadata words).
+const (
+	CtxOffData    = 0  // u64: pointer to the first packet byte
+	CtxOffDataEnd = 8  // u64: pointer one past the last packet byte
+	CtxOffHash    = 16 // u32: RSS hash of the packet
+	CtxOffPort    = 20 // u32: destination port
+	CtxOffQueue   = 24 // u32: RX queue the packet arrived on
+)
+
+// Ctx is the runtime context handed to a packet-hook program.
+type Ctx struct {
+	Packet []byte
+	Hash   uint32
+	Port   uint32
+	Queue  uint32
+}
+
+// Env supplies the ambient kernel facilities helpers need. A nil Env uses
+// deterministic defaults (zero time, a fixed-seed xorshift PRNG).
+type Env struct {
+	Prandom func() uint32 // get_prandom_u32
+	Ktime   func() uint64 // ktime_get_ns
+	CPUID   uint32        // get_smp_processor_id
+}
+
+// Runtime pointer encoding: 16-bit region tag | 48-bit offset. Verified
+// programs only dereference in-range pointers, so the tag bits are never
+// reachable by valid arithmetic (the verifier bounds pointer offsets).
+const (
+	regionShift     = 48
+	regionStack     = 1
+	regionPacket    = 2
+	regionCtx       = 3
+	regionMapHandle = 4
+	regionDynBase   = 8 // dynamic map-value regions
+	offMask         = (uint64(1) << regionShift) - 1
+)
+
+func ptrVal(region uint64, off uint64) uint64 { return region<<regionShift | (off & offMask) }
+func ptrRegion(v uint64) uint64               { return v >> regionShift }
+func ptrOff(v uint64) uint64                  { return v & offMask }
+
+// ExecStats reports per-run accounting.
+type ExecStats struct {
+	Insns     int // instructions executed (across tail calls)
+	TailCalls int
+	Helpers   int
+}
+
+type dynRegion struct {
+	data []byte
+	m    *Map // owner, for atomic ops
+}
+
+type execState struct {
+	stack   [StackSize]byte
+	regions []dynRegion
+	env     *Env
+	ctx     *Ctx
+}
+
+var defaultPRNGState uint32 = 0x9e3779b9
+
+func defaultPrandom() uint32 {
+	// xorshift32; deterministic across runs, good enough as a fallback.
+	x := defaultPRNGState
+	x ^= x << 13
+	x ^= x >> 17
+	x ^= x << 5
+	defaultPRNGState = x
+	return x
+}
+
+// Run executes the program against ctx and returns R0's low 32 bits (the
+// schedule() verdict) along with execution stats. Runtime errors indicate
+// either a verifier gap or a NoVerify program misbehaving; hooks treat them
+// as PASS after logging.
+func (p *Program) Run(ctx *Ctx, env *Env) (uint32, ExecStats, error) {
+	ret, st, err := p.run(ctx, env)
+	return uint32(ret), st, err
+}
+
+// RunRet64 is Run but returns the full 64-bit R0; used by tests.
+func (p *Program) RunRet64(ctx *Ctx, env *Env) (uint64, ExecStats, error) {
+	return p.run(ctx, env)
+}
+
+func (p *Program) run(ctx *Ctx, env *Env) (uint64, ExecStats, error) {
+	if env == nil {
+		env = &Env{}
+	}
+	ex := &execState{env: env, ctx: ctx}
+	var regs [NumRegs]uint64
+	regs[R1] = ptrVal(regionCtx, 0)
+	regs[R10] = ptrVal(regionStack, StackSize)
+
+	var stats ExecStats
+	prog := p
+	pc := 0
+	cur := prog // program whose instret we charge
+	charged := 0
+	flush := func() {
+		cur.instret.Add(uint64(charged))
+		cur.runs.Add(1)
+		charged = 0
+	}
+
+	for {
+		if pc >= len(prog.insns) {
+			flush()
+			return 0, stats, fmt.Errorf("ebpf: %s: pc %d out of range", prog.name, pc)
+		}
+		ins := prog.insns[pc]
+		stats.Insns++
+		charged++
+		switch ins.Class() {
+		case ClassALU64:
+			if err := execALU(&regs, ins, true); err != nil {
+				flush()
+				return 0, stats, err
+			}
+			pc++
+		case ClassALU:
+			if err := execALU(&regs, ins, false); err != nil {
+				flush()
+				return 0, stats, err
+			}
+			pc++
+		case ClassLD: // LDDW
+			if ins.Src == PseudoMapFD {
+				regs[ins.Dst] = ptrVal(regionMapHandle, uint64(ins.Imm))
+			} else {
+				regs[ins.Dst] = Imm64(ins, prog.insns[pc+1])
+			}
+			pc += 2
+		case ClassLDX:
+			v, err := ex.load(&regs, ins)
+			if err != nil {
+				flush()
+				return 0, stats, fmt.Errorf("ebpf: %s: insn %d: %w", prog.name, pc, err)
+			}
+			regs[ins.Dst] = v
+			pc++
+		case ClassST, ClassSTX:
+			if err := ex.store(prog, &regs, ins); err != nil {
+				flush()
+				return 0, stats, fmt.Errorf("ebpf: %s: insn %d: %w", prog.name, pc, err)
+			}
+			pc++
+		case ClassJMP, ClassJMP32:
+			op := ins.Op & 0xf0
+			switch op {
+			case JmpExit:
+				flush()
+				return regs[R0], stats, nil
+			case JmpCall:
+				stats.Helpers++
+				next, err := ex.call(prog, &regs, ins, &stats)
+				if err != nil {
+					flush()
+					return 0, stats, fmt.Errorf("ebpf: %s: insn %d: %w", prog.name, pc, err)
+				}
+				if next != nil {
+					// Tail call: switch programs.
+					flush()
+					cur = next
+					prog = next
+					pc = 0
+					continue
+				}
+				pc++
+			case JmpA:
+				pc += 1 + int(ins.Off)
+			default:
+				a := regs[ins.Dst]
+				var b uint64
+				if ins.Op&SrcX != 0 {
+					b = regs[ins.Src]
+				} else {
+					b = uint64(int64(ins.Imm))
+				}
+				if jumpTaken(op, a, b, ins.Class() == ClassJMP32) {
+					pc += 1 + int(ins.Off)
+				} else {
+					pc++
+				}
+			}
+		default:
+			flush()
+			return 0, stats, fmt.Errorf("ebpf: %s: insn %d: bad class %#x", prog.name, pc, ins.Op)
+		}
+	}
+}
+
+func execALU(regs *[NumRegs]uint64, ins Instruction, is64 bool) error {
+	op := ins.Op & 0xf0
+	if op == ALUNeg {
+		v := -regs[ins.Dst]
+		if !is64 {
+			v = uint64(uint32(v))
+		}
+		regs[ins.Dst] = v
+		return nil
+	}
+	var src uint64
+	if ins.Op&SrcX != 0 {
+		src = regs[ins.Src]
+	} else {
+		src = uint64(int64(ins.Imm))
+	}
+	dst := regs[ins.Dst]
+	if !is64 {
+		dst, src = uint64(uint32(dst)), uint64(uint32(src))
+	}
+	var r uint64
+	switch op {
+	case ALUMov:
+		r = src
+	case ALUAdd:
+		r = dst + src
+	case ALUSub:
+		r = dst - src
+	case ALUMul:
+		r = dst * src
+	case ALUDiv:
+		if src == 0 {
+			r = 0
+		} else {
+			r = dst / src
+		}
+	case ALUMod:
+		if src == 0 {
+			r = dst
+		} else {
+			r = dst % src
+		}
+	case ALUOr:
+		r = dst | src
+	case ALUAnd:
+		r = dst & src
+	case ALUXor:
+		r = dst ^ src
+	case ALULsh:
+		if is64 {
+			r = dst << (src & 63)
+		} else {
+			r = dst << (src & 31)
+		}
+	case ALURsh:
+		if is64 {
+			r = dst >> (src & 63)
+		} else {
+			r = dst >> (src & 31)
+		}
+	case ALUArsh:
+		if is64 {
+			r = uint64(int64(dst) >> (src & 63))
+		} else {
+			r = uint64(uint32(int32(uint32(dst)) >> (src & 31)))
+		}
+	default:
+		return fmt.Errorf("ebpf: bad alu op %#x", ins.Op)
+	}
+	if !is64 {
+		r = uint64(uint32(r))
+	}
+	regs[ins.Dst] = r
+	return nil
+}
+
+// mem resolves a tagged pointer to a live byte slice of exactly size bytes.
+func (ex *execState) mem(ptr uint64, size int) ([]byte, *Map, error) {
+	off := int(ptrOff(ptr))
+	switch region := ptrRegion(ptr); {
+	case region == regionStack:
+		if off < 0 || off+size > StackSize {
+			return nil, nil, fmt.Errorf("stack access out of range: off %d size %d", off, size)
+		}
+		return ex.stack[off : off+size], nil, nil
+	case region == regionPacket:
+		if off < 0 || off+size > len(ex.ctx.Packet) {
+			return nil, nil, fmt.Errorf("packet access out of range: off %d size %d len %d", off, size, len(ex.ctx.Packet))
+		}
+		return ex.ctx.Packet[off : off+size], nil, nil
+	case region >= regionDynBase:
+		idx := int(region - regionDynBase)
+		if idx >= len(ex.regions) {
+			return nil, nil, fmt.Errorf("bad dynamic region %d", idx)
+		}
+		r := ex.regions[idx]
+		if off < 0 || off+size > len(r.data) {
+			return nil, nil, fmt.Errorf("map value access out of range: off %d size %d len %d", off, size, len(r.data))
+		}
+		return r.data[off : off+size], r.m, nil
+	}
+	return nil, nil, fmt.Errorf("dereference of non-memory pointer %#x", ptr)
+}
+
+func loadSized(b []byte, size int) uint64 {
+	switch size {
+	case 1:
+		return uint64(b[0])
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(b))
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(b))
+	default:
+		return binary.LittleEndian.Uint64(b)
+	}
+}
+
+func storeSized(b []byte, size int, v uint64) {
+	switch size {
+	case 1:
+		b[0] = byte(v)
+	case 2:
+		binary.LittleEndian.PutUint16(b, uint16(v))
+	case 4:
+		binary.LittleEndian.PutUint32(b, uint32(v))
+	default:
+		binary.LittleEndian.PutUint64(b, v)
+	}
+}
+
+func (ex *execState) load(regs *[NumRegs]uint64, ins Instruction) (uint64, error) {
+	base := regs[ins.Src]
+	size := ins.LoadSize()
+	if ptrRegion(base) == regionCtx {
+		switch int64(ptrOff(base)) + int64(ins.Off) {
+		case CtxOffData:
+			return ptrVal(regionPacket, 0), nil
+		case CtxOffDataEnd:
+			return ptrVal(regionPacket, uint64(len(ex.ctx.Packet))), nil
+		case CtxOffHash:
+			return uint64(ex.ctx.Hash), nil
+		case CtxOffPort:
+			return uint64(ex.ctx.Port), nil
+		case CtxOffQueue:
+			return uint64(ex.ctx.Queue), nil
+		default:
+			return 0, fmt.Errorf("bad ctx load at %d", int64(ptrOff(base))+int64(ins.Off))
+		}
+	}
+	b, _, err := ex.mem(base+uint64(int64(ins.Off)), size)
+	if err != nil {
+		return 0, err
+	}
+	return loadSized(b, size), nil
+}
+
+func (ex *execState) store(p *Program, regs *[NumRegs]uint64, ins Instruction) error {
+	base := regs[ins.Dst]
+	size := ins.LoadSize()
+	b, owner, err := ex.mem(base+uint64(int64(ins.Off)), size)
+	if err != nil {
+		return err
+	}
+	var v uint64
+	if ins.Class() == ClassSTX {
+		v = regs[ins.Src]
+	} else {
+		v = uint64(int64(ins.Imm))
+	}
+	if ins.Class() == ClassSTX && ins.Op&0xe0 == ModeATOMIC {
+		// XADD; serialize against userspace map API via the owner's lock.
+		if owner != nil {
+			owner.mu.Lock()
+			storeSized(b, size, loadSized(b, size)+v)
+			owner.mu.Unlock()
+		} else {
+			storeSized(b, size, loadSized(b, size)+v)
+		}
+		return nil
+	}
+	storeSized(b, size, v)
+	return nil
+}
+
+// call executes a helper. A non-nil returned program means a successful
+// tail call into that program.
+func (ex *execState) call(p *Program, regs *[NumRegs]uint64, ins Instruction, stats *ExecStats) (*Program, error) {
+	clobber := func(ret uint64) {
+		regs[R0] = ret
+		for r := R1; r <= R5; r++ {
+			regs[r] = 0
+		}
+	}
+	mapArg := func(r int) (*Map, error) {
+		v := regs[r]
+		if ptrRegion(v) != regionMapHandle {
+			return nil, fmt.Errorf("helper arg r%d is not a map handle", r)
+		}
+		idx := int(ptrOff(v))
+		if idx >= len(p.maps) {
+			return nil, fmt.Errorf("bad map index %d", idx)
+		}
+		return p.maps[idx], nil
+	}
+	keyArg := func(r int, m *Map) ([]byte, error) {
+		b, _, err := ex.mem(regs[r], int(m.spec.KeySize))
+		return b, err
+	}
+
+	switch ins.Imm {
+	case HelperMapLookup:
+		m, err := mapArg(R1)
+		if err != nil {
+			return nil, err
+		}
+		key, err := keyArg(R2, m)
+		if err != nil {
+			return nil, err
+		}
+		ref := m.lookupRef(key, ex.env.CPUID)
+		if ref == nil {
+			clobber(0)
+			return nil, nil
+		}
+		if len(ex.regions) >= (1<<16)-regionDynBase {
+			return nil, fmt.Errorf("too many map value regions")
+		}
+		ex.regions = append(ex.regions, dynRegion{data: ref, m: m})
+		clobber(ptrVal(regionDynBase+uint64(len(ex.regions)-1), 0))
+		return nil, nil
+	case HelperMapUpdate:
+		m, err := mapArg(R1)
+		if err != nil {
+			return nil, err
+		}
+		key, err := keyArg(R2, m)
+		if err != nil {
+			return nil, err
+		}
+		val, _, err := ex.mem(regs[R3], int(m.spec.ValueSize))
+		if err != nil {
+			return nil, err
+		}
+		if err := m.Update(key, val); err != nil {
+			clobber(uint64(0xffffffffffffffff)) // -1
+			return nil, nil
+		}
+		clobber(0)
+		return nil, nil
+	case HelperMapDelete:
+		m, err := mapArg(R1)
+		if err != nil {
+			return nil, err
+		}
+		key, err := keyArg(R2, m)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.Delete(key); err != nil {
+			clobber(uint64(0xffffffffffffffff))
+			return nil, nil
+		}
+		clobber(0)
+		return nil, nil
+	case HelperKtimeGetNS:
+		var t uint64
+		if ex.env.Ktime != nil {
+			t = ex.env.Ktime()
+		}
+		clobber(t)
+		return nil, nil
+	case HelperPrandomU32:
+		var r uint32
+		if ex.env.Prandom != nil {
+			r = ex.env.Prandom()
+		} else {
+			r = defaultPrandom()
+		}
+		clobber(uint64(r))
+		return nil, nil
+	case HelperGetSmpProcID:
+		clobber(uint64(ex.env.CPUID))
+		return nil, nil
+	case HelperTailCall:
+		m, err := mapArg(R2)
+		if err != nil {
+			return nil, err
+		}
+		idx := uint32(regs[R3])
+		target := m.prog(idx)
+		if target == nil {
+			// Missing entry: helper fails, execution continues.
+			clobber(uint64(0xffffffffffffffff))
+			return nil, nil
+		}
+		if stats.TailCalls >= MaxTailCalls {
+			clobber(uint64(0xffffffffffffffff))
+			return nil, nil
+		}
+		stats.TailCalls++
+		// r1 keeps pointing at the ctx for the next program.
+		regs[R1] = ptrVal(regionCtx, 0)
+		return target, nil
+	}
+	return nil, fmt.Errorf("unknown helper %d", ins.Imm)
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+
+	"syrup"
+	"syrup/internal/apps/mica"
+	"syrup/internal/policy"
+	"syrup/internal/workload"
+)
+
+// Fig9Config parameterizes §5.4: MICA with 8 threads, two GET/PUT mixes,
+// steering at three layers — the application (original MICA software
+// redirect), the kernel AF_XDP hook (Syrup SW), and the NIC (Syrup HW).
+type Fig9Config struct {
+	Loads   []float64
+	GetFrac float64 // 0.5 for Fig. 9a, 0.95 for Fig. 9b
+	Windows Windows
+}
+
+// DefaultFig9a mirrors the 50% GET / 50% PUT panel, up to 3.5 M RPS.
+func DefaultFig9a() Fig9Config {
+	return Fig9Config{Loads: loadsBetween(500_000, 3_500_000, 7), GetFrac: 0.5, Windows: DefaultWindows}
+}
+
+// DefaultFig9b mirrors the 95% GET / 5% PUT panel.
+func DefaultFig9b() Fig9Config {
+	return Fig9Config{Loads: loadsBetween(500_000, 3_500_000, 7), GetFrac: 0.95, Windows: DefaultWindows}
+}
+
+const (
+	micaPort = 9100
+	micaApp  = 2
+	micaUID  = 1001
+	micaN    = 8
+)
+
+type micaPoint struct {
+	Seed    uint64
+	Load    float64
+	Mode    mica.Mode
+	GetFrac float64
+	Windows Windows
+}
+
+// runMicaPoint builds a MICA host with the requested steering backend.
+// The same mica_hash policy file is deployed at the kernel hook (SW) or
+// the NIC hook (HW) — the paper's portability claim in action.
+func runMicaPoint(pt micaPoint) *workload.Result {
+	if pt.Windows == (Windows{}) {
+		pt.Windows = DefaultWindows
+	}
+	host := syrup.NewHost(syrup.HostConfig{
+		Seed:      pt.Seed,
+		NumCPUs:   micaN,
+		NICQueues: micaN,
+	})
+	app, err := host.RegisterApp(micaApp, micaUID, micaPort)
+	if err != nil {
+		panic(err)
+	}
+	gen := workload.New(host.Eng, host.NIC, workload.Config{
+		Rate:    pt.Load,
+		DstPort: micaPort,
+		Classes: []workload.Class{
+			{Name: "GET", Weight: pt.GetFrac, Type: policy.ReqGET},
+			{Name: "PUT", Weight: 1 - pt.GetFrac, Type: policy.ReqPUT},
+		},
+		KeySpace: 1 << 20,
+		Warmup:   pt.Windows.Warmup,
+		Measure:  pt.Windows.Measure,
+		Drain:    pt.Windows.Drain,
+	})
+	srv := mica.NewServer(host.Eng, host.Machine, host.Stack, mica.Config{
+		Port: micaPort, App: micaApp, NumThreads: micaN, Mode: pt.Mode,
+		OnComplete: gen.Complete,
+	})
+
+	// Steering deployment through syrupd.
+	micaDefines := map[string]int64{"NUM_EXECUTORS": micaN}
+	deploy := func(hook syrup.Hook, source string, defines map[string]int64) {
+		if _, err := app.DeployPolicy(source, hook, defines); err != nil {
+			panic(fmt.Sprintf("fig9 deploy: %v", err))
+		}
+	}
+	// All modes use AF_XDP: a kernel XDP program must move packets into
+	// the sockets. For SW it is the steering policy itself; for HW and
+	// app-redirect it is a trivial redirect into the queue's only socket.
+	trivial := "r0 = 0\nexit\n"
+	switch pt.Mode {
+	case mica.ModeSyrupSW:
+		deploy(syrup.HookXDPSkb, policy.MustSource(policy.NameMicaHash), micaDefines)
+	case mica.ModeSyrupHW:
+		deploy(syrup.HookXDPOffload, policy.MustSource(policy.NameMicaHash), micaDefines)
+		deploy(syrup.HookXDPSkb, trivial, nil)
+	case mica.ModeSWRedirect:
+		deploy(syrup.HookXDPSkb, trivial, nil)
+	}
+
+	srv.Start()
+	return gen.RunToCompletion()
+}
+
+// Fig9 reproduces Figure 9: 99.9% latency vs load for the three steering
+// layers, at the configured GET/PUT mix.
+func Fig9(cfg Fig9Config) *Result {
+	panel := "a (50% GET / 50% PUT)"
+	if cfg.GetFrac > 0.5 {
+		panel = "b (95% GET / 5% PUT)"
+	}
+	res := &Result{
+		Name:    "fig9",
+		Title:   "MICA, 8 threads, steering at app vs kernel vs NIC — panel " + panel + " (paper Fig. 9)",
+		XLabel:  "load (RPS)",
+		Columns: []string{"p999_us", "p99_us", "drop_pct"},
+		Notes: []string{
+			"identical mica_hash policy file deployed at the kernel AF_XDP hook (SW) and the NIC offload hook (HW)",
+			"generic-mode AF_XDP (no zero copy), matching the Netronome's capabilities in §5.4",
+		},
+	}
+	for _, mode := range []mica.Mode{mica.ModeSWRedirect, mica.ModeSyrupSW, mica.ModeSyrupHW} {
+		mode := mode
+		rows := sweep(cfg.Loads, func(load float64) Row {
+			r := runMicaPoint(micaPoint{
+				Seed: 53, Load: load, Mode: mode, GetFrac: cfg.GetFrac,
+				Windows: cfg.Windows,
+			})
+			return Row{X: load, Cols: map[string]float64{
+				"p999_us":  float64(r.All.Latency.Percentile(99.9)) / 1000,
+				"p99_us":   float64(r.All.Latency.Percentile(99)) / 1000,
+				"drop_pct": 100 * r.All.DropFraction(),
+			}}
+		})
+		res.Series = append(res.Series, Series{Name: mode.String(), Rows: rows})
+	}
+	return res
+}

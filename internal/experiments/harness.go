@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"fmt"
+
+	"syrup"
+	"syrup/internal/apps/rocksdb"
+	"syrup/internal/ebpf"
+	"syrup/internal/ghost"
+	"syrup/internal/kernel"
+	"syrup/internal/policy"
+	"syrup/internal/sim"
+	"syrup/internal/workload"
+)
+
+// Windows controls simulated run lengths; tests shrink them, benches use
+// the defaults.
+type Windows struct {
+	Warmup  sim.Time
+	Measure sim.Time
+	Drain   sim.Time
+}
+
+// DefaultWindows are the bench-quality run lengths.
+var DefaultWindows = Windows{
+	Warmup:  200 * sim.Millisecond,
+	Measure: 800 * sim.Millisecond,
+	Drain:   300 * sim.Millisecond,
+}
+
+// FastWindows are used by the shape tests.
+var FastWindows = Windows{
+	Warmup:  60 * sim.Millisecond,
+	Measure: 250 * sim.Millisecond,
+	Drain:   150 * sim.Millisecond,
+}
+
+// SocketPolicy names the socket-selection policy a RocksDB point uses.
+type SocketPolicy string
+
+// Socket policies.
+const (
+	PolicyVanilla    SocketPolicy = "vanilla" // Linux hash-based reuseport
+	PolicyRoundRobin SocketPolicy = "round_robin"
+	PolicyScanAvoid  SocketPolicy = "scan_avoid"
+	PolicySITA       SocketPolicy = "sita"
+	PolicyToken      SocketPolicy = "token"
+)
+
+// rocksPoint describes one RocksDB load point.
+type rocksPoint struct {
+	Seed       uint64
+	Load       float64
+	NumCPUs    int
+	NumThreads int
+	PinToCores bool
+	Flows      int
+	Classes    []workload.Class
+	Policy     SocketPolicy
+	// ThreadSched enables the ghOSt GET-priority thread policy; it
+	// reserves one core for the agent, leaving NumCPUs-1 workers.
+	ThreadSched bool
+	// Service overrides the default RocksDB service model.
+	Service rocksdb.ServiceModel
+	// TokenRate/TokenEpoch configure the token policy's userspace agent.
+	TokenRate  float64
+	TokenEpoch sim.Time
+	LSUser     uint32
+	BEUser     uint32
+	// LateBinding switches the reuseport group to the §6.3 shared-queue
+	// model (overrides Policy's executor choice).
+	LateBinding bool
+	// FlowLocalityBonus enables the §2.1 RFS locality model.
+	FlowLocalityBonus float64
+	Windows           Windows
+}
+
+const (
+	rocksPort = 9000
+	rocksApp  = 1
+	rocksUID  = 1000
+)
+
+// runRocksPoint builds a fresh host, deploys the requested policies via
+// syrupd, offers the load, and returns per-class results.
+func runRocksPoint(pt rocksPoint) *workload.Result {
+	res, _ := runRocksPointFull(pt)
+	return res
+}
+
+// runRocksPointWithLocality also reports the percentage of requests that
+// hit the warm-flow locality discount (the RFS ablation's metric).
+func runRocksPointWithLocality(pt rocksPoint) (*workload.Result, float64) {
+	res, srv := runRocksPointFull(pt)
+	total := srv.ProcessedGET + srv.ProcessedSCAN
+	if total == 0 {
+		return res, 0
+	}
+	return res, 100 * float64(srv.LocalityHits) / float64(total)
+}
+
+func runRocksPointFull(pt rocksPoint) (*workload.Result, *rocksdb.Server) {
+	if pt.Windows == (Windows{}) {
+		pt.Windows = DefaultWindows
+	}
+	host := syrup.NewHost(syrup.HostConfig{
+		Seed:      pt.Seed,
+		NumCPUs:   pt.NumCPUs,
+		NICQueues: pt.NumCPUs, // one RX queue per core, IRQs on buddies (§5.1.1)
+	})
+	app, err := host.RegisterApp(rocksApp, rocksUID, rocksPort)
+	if err != nil {
+		panic(err)
+	}
+
+	gen := workload.New(host.Eng, host.NIC, workload.Config{
+		Rate:    pt.Load,
+		Classes: pt.Classes,
+		Flows:   pt.Flows,
+		DstPort: rocksPort,
+		Warmup:  pt.Windows.Warmup,
+		Measure: pt.Windows.Measure,
+		Drain:   pt.Windows.Drain,
+	})
+
+	// The scan_state map is shared between the app (userspace updates),
+	// the SCAN Avoid kernel policy, and the ghOSt policy.
+	scanState, err := app.CreateMap(ebpf.MapSpec{
+		Name: "scan_state", Type: ebpf.MapArray, KeySize: 4, ValueSize: 8, MaxEntries: 64,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	srv := rocksdb.NewServer(host.Eng, host.Machine, host.Stack, rocksdb.Config{
+		Port:              rocksPort,
+		App:               rocksApp,
+		NumThreads:        pt.NumThreads,
+		PinToCores:        pt.PinToCores,
+		Service:           pt.Service,
+		ScanState:         scanState.Raw(),
+		OnComplete:        gen.Complete,
+		FlowLocalityBonus: pt.FlowLocalityBonus,
+	})
+	if pt.LateBinding {
+		host.Stack.LookupGroup(rocksPort).EnableLateBinding(host.Stack.SocketQueueCap() * pt.NumThreads)
+	}
+
+	// Socket-selection policy via syrupd.
+	defines := map[string]int64{"NUM_THREADS": int64(pt.NumThreads)}
+	switch pt.Policy {
+	case PolicyVanilla:
+		// default hash selection: deploy nothing
+	case PolicySITA:
+		mustDeploy(app, policy.NameSITA, policy.SITADefines(pt.NumThreads))
+	case PolicyToken:
+		dep, err := app.DeployBuiltin(policy.NameToken, syrup.HookSocketSelect, nil)
+		if err != nil {
+			panic(err)
+		}
+		epoch := pt.TokenEpoch
+		if epoch == 0 {
+			epoch = 100 * sim.Microsecond
+		}
+		agent := &policy.TokenAgent{
+			Tokens:   dep.Maps["tokens"],
+			LSUser:   pt.LSUser,
+			BEUser:   pt.BEUser,
+			PerEpoch: uint64(pt.TokenRate * float64(epoch) / 1e9),
+			Epoch:    epoch,
+		}
+		agent.Start(host.Eng)
+	default:
+		mustDeploy(app, string(pt.Policy), defines)
+	}
+
+	// Thread-scheduling policy via the ghOSt hook: GET-priority reading
+	// the same scan_state map the application populates (§5.3).
+	if pt.ThreadSched {
+		slotOf := make(map[int]int, pt.NumThreads)
+		for i, th := range srv.Threads() {
+			slotOf[th.ID] = i
+		}
+		pol := &policy.GetPriority{
+			TypeOf: func(t *kernel.Thread) uint64 {
+				v, _ := scanState.Raw().LookupUint64(uint32(slotOf[t.ID]))
+				return v
+			},
+		}
+		workers := make([]int, pt.NumCPUs-1)
+		for i := range workers {
+			workers[i] = i
+		}
+		agent, err := app.DeployThreadPolicy(pol, pt.NumCPUs-1, workers, ghost.Config{})
+		if err != nil {
+			panic(err)
+		}
+		for _, th := range srv.Threads() {
+			if err := agent.Register(th); err != nil {
+				panic(err)
+			}
+		}
+	}
+
+	srv.Start()
+	return gen.RunToCompletion(), srv
+}
+
+func mustDeploy(app *syrup.App, name string, defines map[string]int64) {
+	if _, err := app.DeployBuiltin(name, syrup.HookSocketSelect, defines); err != nil {
+		panic(fmt.Sprintf("experiments: deploy %s: %v", name, err))
+	}
+}

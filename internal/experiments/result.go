@@ -1,0 +1,155 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation (§5) on the simulated host: Fig. 2 (hash imbalance vs round
+// robin), Fig. 6 (policy expressibility on a bimodal RocksDB workload),
+// Fig. 7 (token-based QoS), Fig. 8 (cross-layer scheduling with ghOSt),
+// Fig. 9 (MICA across SW/HW hooks), Table 2 (policy overheads), and
+// Table 3 (Map operation latency).
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Row is one data point in a series: an x value (offered load) plus named
+// columns (latencies in µs, drop %, throughput).
+type Row struct {
+	X    float64
+	Cols map[string]float64
+}
+
+// Series is one line on a figure.
+type Series struct {
+	Name string
+	Rows []Row
+}
+
+// Result is a regenerated table/figure.
+type Result struct {
+	Name    string // e.g. "fig6"
+	Title   string
+	XLabel  string
+	Columns []string // column order for formatting
+	Series  []Series
+	// Notes carries calibration remarks for EXPERIMENTS.md.
+	Notes []string
+}
+
+// Format renders the result as an aligned text table, one block per
+// series, matching the rows/series the paper plots.
+func (r *Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.Name, r.Title)
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, "\n-- %s --\n", s.Name)
+		fmt.Fprintf(&b, "%14s", r.XLabel)
+		for _, c := range r.Columns {
+			fmt.Fprintf(&b, "%16s", c)
+		}
+		b.WriteByte('\n')
+		for _, row := range s.Rows {
+			fmt.Fprintf(&b, "%14.0f", row.X)
+			for _, c := range r.Columns {
+				v, ok := row.Cols[c]
+				if !ok {
+					fmt.Fprintf(&b, "%16s", "-")
+					continue
+				}
+				fmt.Fprintf(&b, "%16.1f", v)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	if len(r.Notes) > 0 {
+		b.WriteString("\nnotes:\n")
+		for _, n := range r.Notes {
+			fmt.Fprintf(&b, "  - %s\n", n)
+		}
+	}
+	return b.String()
+}
+
+// seriesRow finds the row at x in a series (tests).
+func (r *Result) seriesRow(series string, x float64) (Row, bool) {
+	for _, s := range r.Series {
+		if s.Name != series {
+			continue
+		}
+		for _, row := range s.Rows {
+			if row.X == x {
+				return row, true
+			}
+		}
+	}
+	return Row{}, false
+}
+
+// Col fetches a column value from a series at x; tests use it for shape
+// assertions.
+func (r *Result) Col(series string, x float64, col string) float64 {
+	row, ok := r.seriesRow(series, x)
+	if !ok {
+		panic(fmt.Sprintf("experiments: %s has no row %s@%v", r.Name, series, x))
+	}
+	v, ok := row.Cols[col]
+	if !ok {
+		panic(fmt.Sprintf("experiments: %s %s@%v has no column %q", r.Name, series, x, col))
+	}
+	return v
+}
+
+// sweep evaluates fn at every load in parallel (each point owns a private
+// simulation), preserving order.
+func sweep(loads []float64, fn func(load float64) Row) []Row {
+	rows := make([]Row, len(loads))
+	sem := make(chan struct{}, runtime.NumCPU())
+	var wg sync.WaitGroup
+	for i, load := range loads {
+		i, load := i, load
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			rows[i] = fn(load)
+		}()
+	}
+	wg.Wait()
+	sort.Slice(rows, func(i, j int) bool { return rows[i].X < rows[j].X })
+	return rows
+}
+
+// loadsBetween builds n evenly spaced loads in [lo, hi].
+func loadsBetween(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		return []float64{hi}
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	return out
+}
+
+// mean and stdev over a sample.
+func meanStdev(xs []float64) (float64, float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	m := sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return m, math.Sqrt(ss / float64(len(xs)))
+}

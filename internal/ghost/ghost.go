@@ -1,0 +1,315 @@
+// Package ghost models the ghOSt substrate Syrup uses for its Thread
+// Scheduler hook (§4.1): a lightweight kernel scheduling class forwards
+// thread state changes as messages to a spinning userspace agent, which
+// runs the user-defined matching function (threads → cores) and commits
+// placement transactions back to remote cores via IPIs.
+//
+// Fidelity notes mirrored from the paper:
+//   - the agent occupies a dedicated core, so an enclave of N cores gives
+//     applications N-1 workers (§5.3 observes exactly this cost);
+//   - message handling and transaction commit have per-operation costs;
+//   - isolation: an agent only ever sees threads whose App matches its own,
+//     enforced by the kernel side at registration (§4.3).
+package ghost
+
+import (
+	"fmt"
+
+	"syrup/internal/kernel"
+	"syrup/internal/sim"
+)
+
+// MsgType enumerates thread state-change messages (§4.1 lists created,
+// blocked, yielded, etc.).
+type MsgType int
+
+// Message types.
+const (
+	MsgThreadCreated MsgType = iota
+	MsgThreadWakeup
+	MsgThreadBlocked
+	MsgThreadYield
+	MsgThreadPreempted
+	MsgThreadDead
+)
+
+func (t MsgType) String() string {
+	switch t {
+	case MsgThreadCreated:
+		return "THREAD_CREATED"
+	case MsgThreadWakeup:
+		return "THREAD_WAKEUP"
+	case MsgThreadBlocked:
+		return "THREAD_BLOCKED"
+	case MsgThreadYield:
+		return "THREAD_YIELD"
+	case MsgThreadPreempted:
+		return "THREAD_PREEMPTED"
+	case MsgThreadDead:
+		return "THREAD_DEAD"
+	}
+	return "?"
+}
+
+// Message is one kernel→agent notification.
+type Message struct {
+	Type   MsgType
+	Thread *kernel.Thread
+	At     sim.Time
+}
+
+// CPUView is what the policy sees about one enclave core.
+type CPUView struct {
+	ID   kernel.CPUID
+	Curr *kernel.Thread // nil when idle
+}
+
+// Placement is one scheduling decision: run Thread on CPU, preempting the
+// incumbent if Preempt is set.
+type Placement struct {
+	Thread  *kernel.Thread
+	CPU     kernel.CPUID
+	Preempt bool
+}
+
+// Policy is the user-defined thread→core matching function. Schedule is
+// invoked after each message batch with the current runnable set and the
+// enclave's worker cores; it returns the placements to commit. Returning a
+// thread that is not runnable or a core outside the enclave is a policy
+// bug and panics (the real agent's txn would fail).
+type Policy interface {
+	Schedule(now sim.Time, runnable []*kernel.Thread, cpus []CPUView) []Placement
+}
+
+// PolicyFunc adapts a function to Policy.
+type PolicyFunc func(now sim.Time, runnable []*kernel.Thread, cpus []CPUView) []Placement
+
+// Schedule implements Policy.
+func (f PolicyFunc) Schedule(now sim.Time, runnable []*kernel.Thread, cpus []CPUView) []Placement {
+	return f(now, runnable, cpus)
+}
+
+// Config sets the agent cost model.
+type Config struct {
+	// PerMessageCost is agent CPU per consumed message (≈0.5 µs).
+	PerMessageCost sim.Time
+	// CommitCost is the transaction commit cost per placement: syscall +
+	// IPI to the remote core (≈2 µs, §4.1's "sending interrupts to the
+	// remote logical cores").
+	CommitCost sim.Time
+}
+
+func (c *Config) fill() {
+	if c.PerMessageCost == 0 {
+		c.PerMessageCost = 500 * sim.Nanosecond
+	}
+	if c.CommitCost == 0 {
+		c.CommitCost = 2 * sim.Microsecond
+	}
+}
+
+// Agent is one application's userspace scheduler: a spinning thread on a
+// dedicated core plus the kernel-side scheduling class for that
+// application's threads.
+type Agent struct {
+	m      *kernel.Machine
+	eng    *sim.Engine
+	app    uint32
+	policy Policy
+	cfg    Config
+
+	agentCPU kernel.CPUID
+	workers  []kernel.CPUID
+
+	queue    []Message
+	busy     bool
+	threads  map[*kernel.Thread]bool
+	runnable map[*kernel.Thread]bool
+
+	// Stats.
+	Messages uint64
+	Commits  uint64
+	Preempts uint64
+}
+
+// NewAgent reserves agentCPU for the spinning agent and workers as the
+// enclave's application cores, and installs the agent as the scheduling
+// class for registered threads.
+func NewAgent(m *kernel.Machine, app uint32, policy Policy, agentCPU kernel.CPUID, workers []kernel.CPUID, cfg Config) *Agent {
+	cfg.fill()
+	a := &Agent{
+		m: m, eng: m.Eng, app: app, policy: policy, cfg: cfg,
+		agentCPU: agentCPU, workers: workers,
+		threads:  make(map[*kernel.Thread]bool),
+		runnable: make(map[*kernel.Thread]bool),
+	}
+	m.CPU(agentCPU).Reserve(fmt.Sprintf("ghost-agent-app%d", app))
+	for _, w := range workers {
+		m.CPU(w).Reserve(fmt.Sprintf("ghost-enclave-app%d", app))
+	}
+	return a
+}
+
+// Register moves a blocked thread into this agent's scheduling class.
+// ghOSt's isolation guarantee: the kernel refuses threads of other
+// applications (§4.3).
+func (a *Agent) Register(t *kernel.Thread) error {
+	if t.App != a.app {
+		return fmt.Errorf("ghost: agent for app %d cannot schedule thread %q of app %d", a.app, t.Name, t.App)
+	}
+	a.m.SetClass(t, a)
+	a.threads[t] = true
+	a.enqueue(Message{Type: MsgThreadCreated, Thread: t, At: a.eng.Now()})
+	return nil
+}
+
+// Ready implements kernel.SchedClass (kernel side → message).
+func (a *Agent) Ready(t *kernel.Thread) {
+	a.enqueue(Message{Type: MsgThreadWakeup, Thread: t, At: a.eng.Now()})
+}
+
+// Descheduled implements kernel.SchedClass.
+func (a *Agent) Descheduled(t *kernel.Thread, cpu *kernel.CPU) {
+	typ := MsgThreadBlocked
+	if t.State() == kernel.ThreadDead {
+		typ = MsgThreadDead
+	}
+	a.enqueue(Message{Type: typ, Thread: t, At: a.eng.Now()})
+}
+
+// Yielded implements kernel.SchedClass.
+func (a *Agent) Yielded(t *kernel.Thread, cpu *kernel.CPU) {
+	a.enqueue(Message{Type: MsgThreadYield, Thread: t, At: a.eng.Now()})
+}
+
+func (a *Agent) enqueue(msg Message) {
+	a.queue = append(a.queue, msg)
+	a.maybeRun()
+}
+
+// maybeRun drains the message queue on the spinning agent core, then
+// invokes the policy and commits its placements. Message processing and
+// commits consume agent-core time sequentially, which is what bounds the
+// scheduling throughput of a single agent.
+func (a *Agent) maybeRun() {
+	if a.busy || len(a.queue) == 0 {
+		return
+	}
+	a.busy = true
+	batch := a.queue
+	a.queue = nil
+	cost := a.cfg.PerMessageCost * sim.Time(len(batch))
+	a.eng.After(cost, func() {
+		for _, msg := range batch {
+			a.Messages++
+			switch msg.Type {
+			case MsgThreadCreated:
+				// Created threads start blocked; nothing to do yet.
+			case MsgThreadWakeup, MsgThreadYield, MsgThreadPreempted:
+				a.runnable[msg.Thread] = true
+			case MsgThreadBlocked, MsgThreadDead:
+				delete(a.runnable, msg.Thread)
+			}
+		}
+		a.invokePolicy()
+		a.busy = false
+		a.maybeRun()
+	})
+}
+
+func (a *Agent) invokePolicy() {
+	if len(a.runnable) == 0 {
+		return
+	}
+	runnable := make([]*kernel.Thread, 0, len(a.runnable))
+	// Stable order: by thread ID, for determinism.
+	for t := range a.runnable {
+		runnable = append(runnable, t)
+	}
+	sortThreads(runnable)
+	cpus := make([]CPUView, len(a.workers))
+	for i, id := range a.workers {
+		cpus[i] = CPUView{ID: id, Curr: a.m.CPU(id).Curr()}
+	}
+	placements := a.policy.Schedule(a.eng.Now(), runnable, cpus)
+	var commitDelay sim.Time
+	for _, pl := range placements {
+		pl := pl
+		if !a.runnable[pl.Thread] {
+			panic(fmt.Sprintf("ghost: policy placed non-runnable thread %q", pl.Thread.Name))
+		}
+		if !a.inEnclave(pl.CPU) {
+			panic(fmt.Sprintf("ghost: policy placed thread on cpu %d outside the enclave", pl.CPU))
+		}
+		delete(a.runnable, pl.Thread) // leaves the runnable set while placed
+		commitDelay += a.cfg.CommitCost
+		a.Commits++
+		d := commitDelay
+		a.eng.After(d, func() { a.commit(pl) })
+	}
+}
+
+func (a *Agent) inEnclave(c kernel.CPUID) bool {
+	for _, w := range a.workers {
+		if w == c {
+			return true
+		}
+	}
+	return false
+}
+
+// commit lands one placement on its core: preempt the incumbent if
+// requested (it returns to the runnable set via MsgThreadPreempted), then
+// start the thread.
+func (a *Agent) commit(pl Placement) {
+	cpu := a.m.CPU(pl.CPU)
+	if pl.Thread.State() != kernel.ThreadRunnable {
+		// The thread's state changed while the commit was in flight
+		// (e.g., it was placed by an earlier commit in the same batch, or
+		// woke and blocked again). The transaction fails silently, like a
+		// racing ghOSt txn; a later message will resurface the thread.
+		return
+	}
+	if curr := cpu.Curr(); curr != nil {
+		if !pl.Preempt {
+			// Core got occupied while committing; put the thread back and
+			// let the next policy invocation retry.
+			a.runnable[pl.Thread] = true
+			a.kickPolicy()
+			return
+		}
+		a.Preempts++
+		cpu.PreemptCurrent()
+		a.enqueue(Message{Type: MsgThreadPreempted, Thread: curr, At: a.eng.Now()})
+	}
+	cpu.StartThread(pl.Thread, 0)
+}
+
+// kickPolicy schedules a re-invocation via a synthetic empty batch.
+func (a *Agent) kickPolicy() {
+	if a.busy {
+		return
+	}
+	a.busy = true
+	a.eng.After(a.cfg.PerMessageCost, func() {
+		a.invokePolicy()
+		a.busy = false
+		a.maybeRun()
+	})
+}
+
+// Runnable reports the current runnable-set size (tests/stats).
+func (a *Agent) Runnable() int { return len(a.runnable) }
+
+// Workers returns the enclave's worker cores.
+func (a *Agent) Workers() []kernel.CPUID { return a.workers }
+
+func sortThreads(ts []*kernel.Thread) {
+	// Insertion sort: batches are small and this avoids importing sort
+	// just for a three-line comparator.
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && ts[j].ID < ts[j-1].ID; j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package kernel
+
+import (
+	"testing"
+
+	"syrup/internal/sim"
+)
+
+// BenchmarkSchedulingRoundTrip measures a full block→wake→dispatch→run
+// cycle through CFS — the scheduler-side cost floor for every simulated
+// request.
+func BenchmarkSchedulingRoundTrip(b *testing.B) {
+	eng := sim.New(1)
+	m := New(eng, Config{NumCPUs: 2})
+	cycles := 0
+	var th *Thread
+	var loop func()
+	loop = func() {
+		th.Exec(sim.Microsecond, func() {
+			cycles++
+			th.Block(loop)
+		})
+	}
+	th = m.NewThread("w", 0, 0, func(*Thread) { loop() })
+	th.Wake()
+	eng.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		th.Wake()
+		eng.Run()
+	}
+}
+
+// BenchmarkCFSManyThreads stresses runqueue operations with 64 runnable
+// threads across 8 cores.
+func BenchmarkCFSManyThreads(b *testing.B) {
+	eng := sim.New(1)
+	m := New(eng, Config{NumCPUs: 8})
+	for i := 0; i < 64; i++ {
+		th := spinnerBench(m, 200*sim.Microsecond)
+		th.Wake()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.RunUntil(eng.Now() + sim.Millisecond)
+	}
+}
+
+func spinnerBench(m *Machine, d sim.Time) *Thread {
+	var loop func(t *Thread)
+	loop = func(t *Thread) { t.Exec(d, func() { loop(t) }) }
+	return m.NewThread("s", 0, 0, loop)
+}

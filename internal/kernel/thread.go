@@ -1,0 +1,229 @@
+// Package kernel models the end-host CPU and thread substrate the paper's
+// evaluation runs on: logical cores, kernel threads as event-driven state
+// machines, and a CFS-like default scheduler (per-core runqueues, vruntime
+// fairness, wakeup-preemption granularity) — the request-oblivious baseline
+// Syrup's ghOSt-deployed policies are compared against in §5.3.
+package kernel
+
+import (
+	"fmt"
+
+	"syrup/internal/sim"
+)
+
+// ThreadState is a thread's scheduling state.
+type ThreadState int
+
+// Thread states.
+const (
+	ThreadBlocked ThreadState = iota
+	ThreadRunnable
+	ThreadRunning
+	ThreadDead
+)
+
+func (s ThreadState) String() string {
+	switch s {
+	case ThreadBlocked:
+		return "blocked"
+	case ThreadRunnable:
+		return "runnable"
+	case ThreadRunning:
+		return "running"
+	case ThreadDead:
+		return "dead"
+	}
+	return "?"
+}
+
+// Thread is a kernel thread modeled as a continuation-passing state
+// machine. Application code drives it with Exec (consume CPU, then continue)
+// and Block (wait for an external Wake). The scheduler class decides where
+// and when it runs.
+type Thread struct {
+	ID   int
+	Name string
+	// App identifies the owning application/tenant; ghOSt isolation keys
+	// off it.
+	App uint32
+	// Affinity is a bitmask of allowed CPUs (bit i = CPU i).
+	Affinity uint64
+
+	m     *Machine
+	state ThreadState
+	cpu   *CPU
+	class SchedClass
+
+	// cont is the continuation to invoke next time the thread gets a CPU
+	// and has no partially-consumed burst.
+	cont func()
+	// remaining is the unfinished part of the current Exec burst
+	// (non-zero after a preemption).
+	remaining sim.Time
+	// burstDone runs when the current burst completes.
+	burstDone func()
+	// burstEv is the pending completion event while running.
+	burstEv *sim.Event
+
+	// CFS accounting.
+	vruntime     sim.Time
+	dispatchedAt sim.Time
+	lastCPU      CPUID
+
+	// Stats.
+	cpuTime      sim.Time
+	waitingSince sim.Time // when it last became runnable
+}
+
+// CPUTime reports total CPU consumed, including the in-progress running
+// span (threads that never deschedule still accrue).
+func (t *Thread) CPUTime() sim.Time {
+	total := t.cpuTime
+	if t.state == ThreadRunning {
+		if ran := t.m.Eng.Now() - t.dispatchedAt; ran > 0 {
+			total += ran
+		}
+	}
+	return total
+}
+
+// State reports the thread's scheduling state.
+func (t *Thread) State() ThreadState { return t.state }
+
+// OnCPU returns the CPU currently running the thread, or -1.
+func (t *Thread) OnCPU() CPUID {
+	if t.cpu == nil {
+		return -1
+	}
+	return t.cpu.id
+}
+
+// allowedOn reports whether affinity admits CPU c.
+func (t *Thread) allowedOn(c CPUID) bool {
+	return t.Affinity&(1<<uint(c)) != 0
+}
+
+// Exec consumes d nanoseconds of CPU, then invokes then (still in thread
+// context). It must be called from the thread's own continuation while
+// running. Calling it in any other state is a modeling bug and panics.
+func (t *Thread) Exec(d sim.Time, then func()) {
+	if t.state != ThreadRunning || t.cpu == nil {
+		panic(fmt.Sprintf("kernel: Exec on %s thread %q", t.state, t.Name))
+	}
+	if d < 0 {
+		panic("kernel: negative burst")
+	}
+	t.remaining = d
+	t.burstDone = then
+	t.armBurst()
+}
+
+// armBurst schedules the completion of the in-progress burst.
+func (t *Thread) armBurst() {
+	eng := t.m.Eng
+	t.burstEv = eng.After(t.remaining, func() {
+		t.burstEv = nil
+		t.remaining = 0
+		done := t.burstDone
+		t.burstDone = nil
+		if done == nil {
+			panic(fmt.Sprintf("kernel: thread %q burst completed with no continuation", t.Name))
+		}
+		done()
+		// The continuation must have either started a new burst, blocked,
+		// yielded, or exited. Anything else leaves the CPU wedged.
+		if t.state == ThreadRunning && t.burstEv == nil {
+			panic(fmt.Sprintf("kernel: thread %q continuation neither blocked nor ran", t.Name))
+		}
+	})
+}
+
+// Block transitions the running thread to Blocked and releases its CPU.
+// The continuation passed here resumes when Wake is called.
+func (t *Thread) Block(resume func()) {
+	if t.state != ThreadRunning || t.cpu == nil {
+		panic(fmt.Sprintf("kernel: Block on %s thread %q", t.state, t.Name))
+	}
+	t.cont = resume
+	cpu := t.detach()
+	t.state = ThreadBlocked
+	t.class.Descheduled(t, cpu)
+}
+
+// Exit terminates the thread.
+func (t *Thread) Exit() {
+	if t.state != ThreadRunning || t.cpu == nil {
+		panic(fmt.Sprintf("kernel: Exit on %s thread %q", t.state, t.Name))
+	}
+	cpu := t.detach()
+	t.state = ThreadDead
+	t.class.Descheduled(t, cpu)
+}
+
+// Yield releases the CPU but stays runnable (sched_yield).
+func (t *Thread) Yield(resume func()) {
+	if t.state != ThreadRunning || t.cpu == nil {
+		panic(fmt.Sprintf("kernel: Yield on %s thread %q", t.state, t.Name))
+	}
+	t.cont = resume
+	cpu := t.detach()
+	t.state = ThreadRunnable
+	t.waitingSince = t.m.Eng.Now()
+	t.class.Yielded(t, cpu)
+}
+
+// Wake makes a blocked thread runnable. Waking a runnable/running thread is
+// a no-op (like a redundant futex wake); waking a dead thread panics.
+func (t *Thread) Wake() {
+	switch t.state {
+	case ThreadDead:
+		panic(fmt.Sprintf("kernel: Wake on dead thread %q", t.Name))
+	case ThreadRunnable, ThreadRunning:
+		return
+	}
+	t.state = ThreadRunnable
+	t.waitingSince = t.m.Eng.Now()
+	t.class.Ready(t)
+}
+
+// detach removes the thread from its CPU, accounting vruntime and CPU time,
+// and cancels any pending burst event (capturing the unconsumed remainder).
+func (t *Thread) detach() *CPU {
+	cpu := t.cpu
+	now := t.m.Eng.Now()
+	if t.burstEv != nil {
+		if now >= t.dispatchedAt {
+			// The burst had started; capture what is left of it.
+			t.remaining = t.burstEv.Time() - now
+		}
+		// Otherwise the thread was still context-switching in: its burst
+		// (or pending continuation) is untouched and re-dispatch will
+		// restart the switch.
+		t.m.Eng.Cancel(t.burstEv)
+		t.burstEv = nil
+	}
+	ran := now - t.dispatchedAt
+	if ran < 0 {
+		ran = 0 // descheduled during the context-switch window
+	}
+	t.vruntime += ran
+	t.cpuTime += ran
+	cpu.BusyTime += now - cpu.busyStart
+	t.cpu = nil
+	t.lastCPU = cpu.id
+	cpu.curr = nil
+	cpu.cancelSliceTimer()
+	return cpu
+}
+
+// preempt forcibly deschedules the running thread, marking it runnable.
+// Callers (scheduler classes) are responsible for requeueing it.
+func (t *Thread) preempt() *CPU {
+	if t.state != ThreadRunning {
+		panic(fmt.Sprintf("kernel: preempt of %s thread %q", t.state, t.Name))
+	}
+	cpu := t.detach()
+	t.state = ThreadRunnable
+	t.waitingSince = t.m.Eng.Now()
+	return cpu
+}

@@ -1,0 +1,86 @@
+package metrics
+
+import "fmt"
+
+// RunStats aggregates everything one experiment data point needs: request
+// latency distribution, completion/drop counts, and the measurement window
+// so throughput can be derived. Drops are attributed to a cause so the
+// harness can distinguish socket-overflow drops (Fig. 2b) from policy DROP
+// verdicts (the token policy).
+type RunStats struct {
+	Latency *Histogram
+
+	Offered   uint64 // requests injected during the measure window
+	Completed uint64 // responses received during the measure window
+
+	Drops map[DropCause]uint64
+
+	WindowNanos int64 // measurement window length (virtual ns)
+}
+
+// DropCause classifies why a request never completed.
+type DropCause string
+
+// Drop causes used across the stack.
+const (
+	DropSocketOverflow  DropCause = "socket-overflow"  // bounded socket queue full
+	DropBacklogOverflow DropCause = "backlog-overflow" // softirq backlog full
+	DropPolicy          DropCause = "policy"           // policy returned DROP
+	DropNoExecutor      DropCause = "no-executor"      // policy chose an empty map slot
+	DropRingOverflow    DropCause = "ring-overflow"    // AF_XDP / inter-core ring full
+)
+
+// NewRunStats returns an empty RunStats.
+func NewRunStats() *RunStats {
+	return &RunStats{
+		Latency: NewHistogram(),
+		Drops:   make(map[DropCause]uint64),
+	}
+}
+
+// Drop records one dropped request.
+func (r *RunStats) Drop(cause DropCause) { r.Drops[cause]++ }
+
+// TotalDrops sums drops across causes.
+func (r *RunStats) TotalDrops() uint64 {
+	var n uint64
+	for _, c := range r.Drops {
+		n += c
+	}
+	return n
+}
+
+// DropFraction reports drops as a fraction of offered load in [0,1].
+func (r *RunStats) DropFraction() float64 {
+	if r.Offered == 0 {
+		return 0
+	}
+	return float64(r.TotalDrops()) / float64(r.Offered)
+}
+
+// ThroughputRPS reports completed requests per second of virtual time.
+func (r *RunStats) ThroughputRPS() float64 {
+	if r.WindowNanos <= 0 {
+		return 0
+	}
+	return float64(r.Completed) / (float64(r.WindowNanos) / 1e9)
+}
+
+// String renders a one-line summary.
+func (r *RunStats) String() string {
+	return fmt.Sprintf("offered=%d completed=%d drops=%.2f%% tput=%.0frps lat[%v]",
+		r.Offered, r.Completed, 100*r.DropFraction(), r.ThroughputRPS(), r.Latency)
+}
+
+// Merge folds other into r (used when aggregating per-class stats).
+func (r *RunStats) Merge(other *RunStats) {
+	r.Latency.Merge(other.Latency)
+	r.Offered += other.Offered
+	r.Completed += other.Completed
+	for c, n := range other.Drops {
+		r.Drops[c] += n
+	}
+	if other.WindowNanos > r.WindowNanos {
+		r.WindowNanos = other.WindowNanos
+	}
+}

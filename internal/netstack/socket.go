@@ -1,0 +1,241 @@
+// Package netstack models the kernel receive path the paper instruments:
+// per-RX-queue softirq processing (SKB allocation + protocol work), the
+// XDP_DRV / XDP_SKB hooks feeding AF_XDP sockets, the CPU Redirect hook,
+// and SO_REUSEPORT socket groups with the Socket Select hook. Policies run
+// as verified eBPF programs at each hook, and every hook charges the
+// decision+enforcement cost on the softirq core that executes it.
+package netstack
+
+import (
+	"fmt"
+
+	"syrup/internal/ebpf"
+	"syrup/internal/nic"
+)
+
+// Socket is a bounded datagram receive queue. It models both regular UDP
+// sockets (filled after protocol processing) and AF_XDP sockets (filled
+// directly from the XDP hooks). A single waiter — the owning thread's
+// blocked recvmsg — can be parked on it.
+type Socket struct {
+	Port uint16
+	App  uint32
+	// Label is a human-readable identity for debugging ("rocksdb-w3").
+	Label string
+
+	cap    int
+	queue  []*nic.Packet
+	waiter func()
+	// group backlink, set when the owning reuseport group uses late
+	// binding; TryRecv then draws from the group's shared queue.
+	group *ReuseportGroup
+
+	// Drops counts enqueue failures due to a full queue.
+	Drops uint64
+	// Enqueued counts successful enqueues.
+	Enqueued uint64
+}
+
+// NewSocket creates a socket with the given queue capacity.
+func NewSocket(port uint16, app uint32, capacity int, label string) *Socket {
+	if capacity <= 0 {
+		panic("netstack: socket capacity must be positive")
+	}
+	return &Socket{Port: port, App: app, cap: capacity, Label: label}
+}
+
+// Enqueue appends a packet, waking any parked waiter. It reports false
+// (and counts a drop) when the queue is full.
+func (s *Socket) Enqueue(pkt *nic.Packet) bool {
+	if len(s.queue) >= s.cap {
+		s.Drops++
+		return false
+	}
+	s.queue = append(s.queue, pkt)
+	s.Enqueued++
+	if w := s.waiter; w != nil {
+		s.waiter = nil
+		w()
+	}
+	return true
+}
+
+// TryRecv pops the head packet, or nil when empty. Under late binding the
+// packet comes from the group's shared queue: the executor binds to its
+// input only at the moment it can process it.
+func (s *Socket) TryRecv() *nic.Packet {
+	if s.group != nil && s.group.lateBinding {
+		return s.group.latePop()
+	}
+	if len(s.queue) == 0 {
+		return nil
+	}
+	pkt := s.queue[0]
+	s.queue[0] = nil
+	s.queue = s.queue[1:]
+	return pkt
+}
+
+// Len reports queued datagrams.
+func (s *Socket) Len() int { return len(s.queue) }
+
+// WaitRecv parks fn until the next enqueue. Only one waiter may be parked;
+// a second registration is a modeling bug (each socket belongs to one
+// server thread in the paper's setups).
+func (s *Socket) WaitRecv(fn func()) {
+	if s.waiter != nil {
+		panic(fmt.Sprintf("netstack: socket %s already has a waiter", s.Label))
+	}
+	s.waiter = fn
+}
+
+// SetWaiter installs fn as the socket's waiter, replacing any previous
+// one. Pollset-style consumers (a thread multiplexing several AF_XDP
+// sockets) use this: re-arming an already-armed socket is expected there.
+func (s *Socket) SetWaiter(fn func()) { s.waiter = fn }
+
+// ReuseportGroup is the set of sockets bound to one UDP port with
+// SO_REUSEPORT, plus the optional Syrup Socket Select program attached to
+// the group (attachment per group is what gives the hook per-application
+// isolation: a policy only ever sees datagrams for its own port, §4.4).
+type ReuseportGroup struct {
+	Port uint16
+	App  uint32
+
+	sockets []*Socket
+	prog    *ebpf.Program
+
+	// Late binding (§6.3): instead of assigning each datagram to a socket
+	// on arrival (early binding), datagrams wait in one shared queue and
+	// are handed to whichever executor asks for work next — eliminating
+	// executor-side head-of-line blocking at the cost of a central queue.
+	lateBinding bool
+	lateQueue   []*nic.Packet
+	lateCap     int
+
+	// Stats.
+	PolicyRuns   uint64
+	PolicyDrops  uint64
+	PolicyPasses uint64
+	NoExecutor   uint64
+	LateDrops    uint64
+}
+
+// EnableLateBinding switches the group to late binding with the given
+// shared-queue capacity. The Socket Select program, if any, still runs for
+// its PASS/DROP verdict (admission control); executor indices are ignored
+// because binding happens at recv time.
+func (g *ReuseportGroup) EnableLateBinding(capacity int) {
+	if capacity <= 0 {
+		panic("netstack: late-binding capacity must be positive")
+	}
+	g.lateBinding = true
+	g.lateCap = capacity
+	for _, s := range g.sockets {
+		s.group = g
+	}
+}
+
+// LateBinding reports whether the group uses late binding.
+func (g *ReuseportGroup) LateBinding() bool { return g.lateBinding }
+
+// lateEnqueue buffers a datagram centrally and wakes one parked executor.
+func (g *ReuseportGroup) lateEnqueue(pkt *nic.Packet) bool {
+	if len(g.lateQueue) >= g.lateCap {
+		g.LateDrops++
+		return false
+	}
+	g.lateQueue = append(g.lateQueue, pkt)
+	for _, s := range g.sockets {
+		if w := s.waiter; w != nil {
+			s.waiter = nil
+			w()
+			break
+		}
+	}
+	return true
+}
+
+// latePop hands the head datagram to an executor that became available.
+func (g *ReuseportGroup) latePop() *nic.Packet {
+	if len(g.lateQueue) == 0 {
+		return nil
+	}
+	pkt := g.lateQueue[0]
+	g.lateQueue[0] = nil
+	g.lateQueue = g.lateQueue[1:]
+	return pkt
+}
+
+// QueuedLate reports the shared-queue depth.
+func (g *ReuseportGroup) QueuedLate() int { return len(g.lateQueue) }
+
+// NewReuseportGroup creates an empty group for a port.
+func NewReuseportGroup(port uint16, app uint32) *ReuseportGroup {
+	return &ReuseportGroup{Port: port, App: app}
+}
+
+// AddSocket appends a socket to the group's executor table and returns its
+// index (the value a policy returns to pick it). This models the paper's
+// workflow of registering sockets after bind() (§3.3).
+func (g *ReuseportGroup) AddSocket(s *Socket) int {
+	if s.Port != g.Port {
+		panic(fmt.Sprintf("netstack: socket port %d joined group for port %d", s.Port, g.Port))
+	}
+	s.group = g
+	g.sockets = append(g.sockets, s)
+	return len(g.sockets) - 1
+}
+
+// Sockets exposes the executor table.
+func (g *ReuseportGroup) Sockets() []*Socket { return g.sockets }
+
+// SetProgram attaches (or clears) the group's Socket Select policy.
+func (g *ReuseportGroup) SetProgram(p *ebpf.Program) { g.prog = p }
+
+// Program returns the attached policy, if any.
+func (g *ReuseportGroup) Program() *ebpf.Program { return g.prog }
+
+// selectResult is the outcome of socket selection.
+type selectResult int
+
+const (
+	selected selectResult = iota
+	dropped
+	noExecutor
+)
+
+// selectSocket picks the destination socket for pkt: the attached policy's
+// verdict, or hash-based selection (vanilla Linux reuseport) otherwise.
+func (g *ReuseportGroup) selectSocket(pkt *nic.Packet, hash uint32, env *ebpf.Env) (*Socket, selectResult) {
+	if len(g.sockets) == 0 {
+		return nil, noExecutor
+	}
+	defaultPick := func() *Socket {
+		return g.sockets[hash%uint32(len(g.sockets))]
+	}
+	if g.prog == nil {
+		return defaultPick(), selected
+	}
+	g.PolicyRuns++
+	ctx := &ebpf.Ctx{Packet: pkt.Bytes(), Hash: hash, Port: uint32(pkt.DstPort), Queue: uint32(pkt.Queue)}
+	verdict, _, err := g.prog.Run(ctx, env)
+	switch {
+	case err != nil:
+		// Verified programs cannot fault; a NoVerify program that does is
+		// treated as PASS, mirroring the kernel's fail-open default.
+		g.PolicyPasses++
+		return defaultPick(), selected
+	case verdict == ebpf.VerdictPass:
+		g.PolicyPasses++
+		return defaultPick(), selected
+	case verdict == ebpf.VerdictDrop:
+		g.PolicyDrops++
+		return nil, dropped
+	case int(verdict) < len(g.sockets):
+		return g.sockets[verdict], selected
+	default:
+		g.NoExecutor++
+		return nil, noExecutor
+	}
+}

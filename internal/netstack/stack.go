@@ -1,0 +1,367 @@
+package netstack
+
+import (
+	"fmt"
+
+	"syrup/internal/ebpf"
+	"syrup/internal/nic"
+	"syrup/internal/sim"
+)
+
+// Config sets the stack's per-packet cost model and queue bounds. Zero
+// values take defaults calibrated in DESIGN.md.
+type Config struct {
+	// SKBAllocCost is buffer allocation per packet (≈0.3 µs).
+	SKBAllocCost sim.Time
+	// ProtoCost is IP+UDP protocol processing per packet (≈1.3 µs).
+	ProtoCost sim.Time
+	// PolicyRunCost is the decision+enforcement cost charged per eBPF
+	// hook invocation (Table 2 measures ≈1.6 k cycles ≈ 0.7 µs).
+	PolicyRunCost sim.Time
+	// XSKCopyCost is the extra copy when delivering to AF_XDP in generic
+	// (XDP_SKB) mode; native (XDP_DRV) mode is zero-copy.
+	XSKCopyCost sim.Time
+	// SocketQueueCap bounds each socket's receive queue in datagrams
+	// (≈212 KB rmem_default / ~800 B effective truesize ≈ 256).
+	SocketQueueCap int
+	// BacklogCap bounds each softirq core's backlog (netdev_max_backlog).
+	BacklogCap int
+}
+
+func (c *Config) fill() {
+	if c.SKBAllocCost == 0 {
+		c.SKBAllocCost = 300 * sim.Nanosecond
+	}
+	if c.ProtoCost == 0 {
+		c.ProtoCost = 1300 * sim.Nanosecond
+	}
+	if c.PolicyRunCost == 0 {
+		c.PolicyRunCost = 700 * sim.Nanosecond
+	}
+	if c.XSKCopyCost == 0 {
+		c.XSKCopyCost = 400 * sim.Nanosecond
+	}
+	if c.SocketQueueCap == 0 {
+		c.SocketQueueCap = 256
+	}
+	if c.BacklogCap == 0 {
+		c.BacklogCap = 1000
+	}
+}
+
+// XDPMode selects where the XDP program runs in the receive path.
+type XDPMode int
+
+// XDP modes (paper §5.1.2): native runs in the driver before SKB
+// allocation with zero-copy AF_XDP; generic runs after SKB allocation,
+// driver-independent but with a copy.
+const (
+	XDPNone XDPMode = iota
+	XDPNative
+	XDPGeneric
+)
+
+// Stats counts stack-level events.
+type Stats struct {
+	Processed       uint64
+	BacklogDrops    uint64
+	SocketDrops     uint64
+	PolicyDrops     uint64
+	NoExecutorDrops uint64
+	NoGroupDrops    uint64
+	XSKDelivered    uint64
+	XSKDrops        uint64
+}
+
+// softirqCore is a serial per-RX-queue service timeline: the hyperthread
+// buddy that runs IRQ + softirq work for that queue (§5.1.1 maps each
+// queue's interrupt to the buddy of the application hyperthread).
+type softirqCore struct {
+	busyUntil sim.Time
+	backlog   int
+}
+
+// Stack is the kernel receive path.
+type Stack struct {
+	eng *sim.Engine
+	cfg Config
+	dev *nic.NIC
+
+	cores []softirqCore
+	envs  []*ebpf.Env
+
+	xdpMode XDPMode
+	xdpProg *ebpf.Program
+
+	cpuRedirect *ebpf.Program
+
+	groups    map[uint16]*ReuseportGroup
+	tcpGroups map[uint16]*TCPGroup
+
+	// xsks holds the AF_XDP executor tables, scoped per destination port
+	// (= per application, preserving executor-map isolation) and per RX
+	// queue: the policy verdict indexes into the packet's port+queue
+	// socket list (the paper's Syrup SW setup registers one socket per
+	// MICA thread per queue).
+	xsks map[uint16][][]*Socket
+
+	Stats Stats
+}
+
+// New creates a stack bound to dev. Call dev's constructor with
+// stack.Deliver as the DeliverFunc (or use Wire).
+func New(eng *sim.Engine, cfg Config, queues int) *Stack {
+	cfg.fill()
+	s := &Stack{
+		eng:       eng,
+		cfg:       cfg,
+		cores:     make([]softirqCore, queues),
+		groups:    make(map[uint16]*ReuseportGroup),
+		tcpGroups: make(map[uint16]*TCPGroup),
+		xsks:      make(map[uint16][][]*Socket),
+	}
+	for i := 0; i < queues; i++ {
+		i := i
+		s.envs = append(s.envs, &ebpf.Env{
+			Prandom: func() uint32 { return eng.Rand().Uint32() },
+			Ktime:   func() uint64 { return uint64(eng.Now()) },
+			CPUID:   uint32(i),
+		})
+	}
+	return s
+}
+
+// Wire connects a NIC to this stack and returns it; convenience for hosts.
+func Wire(eng *sim.Engine, nicCfg nic.Config, stackCfg Config) (*nic.NIC, *Stack) {
+	s := New(eng, stackCfg, max(nicCfg.Queues, 1))
+	dev := nic.New(eng, nicCfg, s.Deliver)
+	s.dev = dev
+	return dev, s
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// SetXDP installs the XDP hook program and mode (XDPNone clears).
+func (s *Stack) SetXDP(mode XDPMode, p *ebpf.Program) {
+	if mode == XDPNone {
+		s.xdpMode, s.xdpProg = XDPNone, nil
+		return
+	}
+	if p == nil {
+		panic("netstack: XDP mode without program")
+	}
+	s.xdpMode, s.xdpProg = mode, p
+}
+
+// SetCPURedirect installs the CPU Redirect hook program: its verdict moves
+// protocol processing for a packet onto another softirq core.
+func (s *Stack) SetCPURedirect(p *ebpf.Program) { s.cpuRedirect = p }
+
+// Group returns (creating if needed) the reuseport group for port.
+func (s *Stack) Group(port uint16, app uint32) *ReuseportGroup {
+	if g, ok := s.groups[port]; ok {
+		return g
+	}
+	g := NewReuseportGroup(port, app)
+	s.groups[port] = g
+	return g
+}
+
+// LookupGroup returns the group for port, or nil.
+func (s *Stack) LookupGroup(port uint16) *ReuseportGroup { return s.groups[port] }
+
+// TCPGroup returns (creating if needed) the TCP listener group for port.
+func (s *Stack) TCPGroup(port uint16, app uint32) *TCPGroup {
+	if g, ok := s.tcpGroups[port]; ok {
+		return g
+	}
+	g := NewTCPGroup(port, app)
+	s.tcpGroups[port] = g
+	return g
+}
+
+// LookupTCPGroup returns the TCP group for port, or nil.
+func (s *Stack) LookupTCPGroup(port uint16) *TCPGroup { return s.tcpGroups[port] }
+
+// NewUDPSocket creates a socket bound to port and adds it to the port's
+// reuseport group, returning the socket and its executor index.
+func (s *Stack) NewUDPSocket(port uint16, app uint32, label string) (*Socket, int) {
+	sock := NewSocket(port, app, s.cfg.SocketQueueCap, label)
+	idx := s.Group(port, app).AddSocket(sock)
+	return sock, idx
+}
+
+// RegisterXSK appends an AF_XDP socket to port's executor table for queue
+// and returns its index. Scoping the table by destination port keeps one
+// application's XDP verdicts from reaching another application's sockets.
+func (s *Stack) RegisterXSK(port uint16, queue int, sock *Socket) int {
+	tables := s.xsks[port]
+	if tables == nil {
+		tables = make([][]*Socket, len(s.cores))
+		s.xsks[port] = tables
+	}
+	tables[queue] = append(tables[queue], sock)
+	return len(tables[queue]) - 1
+}
+
+// SocketQueueCap exposes the configured socket queue bound.
+func (s *Stack) SocketQueueCap() int { return s.cfg.SocketQueueCap }
+
+// Deliver is the NIC→host handoff (nic.DeliverFunc). The packet is
+// processed serially on its queue's softirq core.
+func (s *Stack) Deliver(queue int, pkt *nic.Packet) {
+	core := &s.cores[queue]
+	if core.backlog >= s.cfg.BacklogCap {
+		s.Stats.BacklogDrops++
+		if s.dev != nil {
+			s.dev.Consumed(queue)
+		}
+		return
+	}
+	core.backlog++
+
+	// Compute this packet's softirq occupancy.
+	var cost sim.Time
+	switch s.xdpMode {
+	case XDPNative:
+		cost = s.cfg.PolicyRunCost // pre-SKB, zero-copy
+	case XDPGeneric:
+		cost = s.cfg.SKBAllocCost + s.cfg.PolicyRunCost + s.cfg.XSKCopyCost
+	default:
+		cost = s.cfg.SKBAllocCost
+	}
+
+	now := s.eng.Now()
+	start := core.busyUntil
+	if start < now {
+		start = now
+	}
+	done := start + cost
+	core.busyUntil = done
+	s.eng.At(done, func() {
+		core.backlog--
+		if s.dev != nil {
+			s.dev.Consumed(queue)
+		}
+		s.afterIngress(queue, pkt)
+	})
+}
+
+// afterIngress runs once the softirq core has executed the pre-stack stage
+// (XDP hook or plain SKB allocation).
+func (s *Stack) afterIngress(queue int, pkt *nic.Packet) {
+	s.Stats.Processed++
+	if s.xdpMode != XDPNone {
+		ctx := &ebpf.Ctx{Packet: pkt.Bytes(), Hash: pkt.RSSHash(), Port: uint32(pkt.DstPort), Queue: uint32(queue)}
+		verdict, _, err := s.xdpProg.Run(ctx, s.envs[queue])
+		switch {
+		case err != nil:
+			// fail-open: continue up the stack
+		case verdict == ebpf.VerdictDrop:
+			s.Stats.XSKDrops++
+			return
+		case verdict == ebpf.VerdictPass:
+			// continue up the stack
+		default:
+			var table []*Socket
+			if tables := s.xsks[pkt.DstPort]; tables != nil {
+				table = tables[queue]
+			}
+			if int(verdict) >= len(table) {
+				s.Stats.NoExecutorDrops++
+				return
+			}
+			if !table[verdict].Enqueue(pkt) {
+				s.Stats.XSKDrops++
+				return
+			}
+			s.Stats.XSKDelivered++
+			return
+		}
+	}
+
+	// CPU Redirect hook: choose the core for protocol processing.
+	protoCore := queue
+	if s.cpuRedirect != nil {
+		ctx := &ebpf.Ctx{Packet: pkt.Bytes(), Hash: pkt.RSSHash(), Port: uint32(pkt.DstPort), Queue: uint32(queue)}
+		verdict, _, err := s.cpuRedirect.Run(ctx, s.envs[queue])
+		switch {
+		case err != nil || verdict == ebpf.VerdictPass:
+		case verdict == ebpf.VerdictDrop:
+			s.Stats.PolicyDrops++
+			return
+		case int(verdict) < len(s.cores):
+			protoCore = int(verdict)
+		default:
+			s.Stats.NoExecutorDrops++
+			return
+		}
+	}
+	s.protocolStage(protoCore, pkt)
+}
+
+// protocolStage charges protocol processing on core, then performs socket
+// selection and delivery.
+func (s *Stack) protocolStage(core int, pkt *nic.Packet) {
+	c := &s.cores[core]
+	cost := s.cfg.ProtoCost
+	if s.cpuRedirect != nil {
+		cost += s.cfg.PolicyRunCost
+	}
+	if g, ok := s.groups[pkt.DstPort]; ok && g.prog != nil {
+		// The Socket Select policy runs inline with delivery on this core.
+		cost += s.cfg.PolicyRunCost
+	}
+	if tg, ok := s.tcpGroups[pkt.DstPort]; ok && tg.prog != nil && (pkt.SYN || tg.kcm) {
+		cost += s.cfg.PolicyRunCost
+	}
+	now := s.eng.Now()
+	start := c.busyUntil
+	if start < now {
+		start = now
+	}
+	done := start + cost
+	c.busyUntil = done
+	s.eng.At(done, func() {
+		if pkt.TCP {
+			tg, ok := s.tcpGroups[pkt.DstPort]
+			if !ok {
+				s.Stats.NoGroupDrops++
+				return
+			}
+			tg.HandleSegment(pkt, pkt.RSSHash(), s.envs[core])
+			return
+		}
+		g, ok := s.groups[pkt.DstPort]
+		if !ok {
+			s.Stats.NoGroupDrops++
+			return
+		}
+		sock, res := g.selectSocket(pkt, pkt.RSSHash(), s.envs[core])
+		switch res {
+		case dropped:
+			s.Stats.PolicyDrops++
+		case noExecutor:
+			s.Stats.NoExecutorDrops++
+		case selected:
+			if g.lateBinding {
+				if !g.lateEnqueue(pkt) {
+					s.Stats.SocketDrops++
+				}
+			} else if !sock.Enqueue(pkt) {
+				s.Stats.SocketDrops++
+			}
+		}
+	})
+}
+
+// String summarizes stats for debugging.
+func (s *Stats) String() string {
+	return fmt.Sprintf("processed=%d backlog-drops=%d socket-drops=%d policy-drops=%d no-exec=%d xsk=%d",
+		s.Processed, s.BacklogDrops, s.SocketDrops, s.PolicyDrops, s.NoExecutorDrops, s.XSKDelivered)
+}

@@ -1,0 +1,266 @@
+// Package nic models the network interface card: RX queues with bounded
+// descriptor rings, RSS hash steering with an indirection table, and — for
+// the Syrup XDP Offload hook — an on-NIC eBPF engine that runs a verified
+// program against each arriving frame to pick its RX queue, exactly as the
+// paper does on the Netronome Agilio CX (§5.4). On-NIC maps are reachable
+// from the host through a proxy that charges the ≈25 µs PCIe round trip
+// Table 3 reports.
+package nic
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+
+	"syrup/internal/ebpf"
+	"syrup/internal/sim"
+)
+
+// Packet is one network frame moving through the simulated host. The bytes
+// visible to eBPF policies are UDP header (8 bytes) + application payload,
+// matching the view the paper's policies parse (e.g., Fig. 3 hashes the
+// udphdr at pkt_start).
+type Packet struct {
+	ID uint64
+
+	SrcIP   uint32
+	DstIP   uint32
+	SrcPort uint16
+	DstPort uint16
+
+	// TCP marks the packet as a TCP segment (default is a UDP datagram);
+	// SYN marks a connection-establishing segment.
+	TCP bool
+	SYN bool
+
+	Payload []byte
+
+	// SentAt is the client-side send timestamp (for end-to-end latency).
+	SentAt sim.Time
+	// ArrivedAt is stamped by the NIC on reception.
+	ArrivedAt sim.Time
+	// Queue is the RX queue the NIC placed the packet on.
+	Queue int
+
+	// wire caches the policy-visible byte view.
+	wire []byte
+}
+
+// Bytes renders the policy-visible view: an 8-byte UDP header followed by
+// the payload. The slice is cached; policies may write to it (XDP allows
+// packet writes) and later hooks will observe those writes.
+func (p *Packet) Bytes() []byte {
+	if p.wire == nil {
+		p.wire = make([]byte, 8+len(p.Payload))
+		binary.BigEndian.PutUint16(p.wire[0:], p.SrcPort)
+		binary.BigEndian.PutUint16(p.wire[2:], p.DstPort)
+		binary.BigEndian.PutUint16(p.wire[4:], uint16(8+len(p.Payload)))
+		// Bytes 6-7: checksum, left zero.
+		copy(p.wire[8:], p.Payload)
+	}
+	return p.wire
+}
+
+// RSSHash is the NIC's receive-side-scaling hash over the 5-tuple
+// (deterministic stand-in for Toeplitz).
+func (p *Packet) RSSHash() uint32 {
+	h := fnv.New32a()
+	var b [13]byte
+	binary.BigEndian.PutUint32(b[0:], p.SrcIP)
+	binary.BigEndian.PutUint32(b[4:], p.DstIP)
+	binary.BigEndian.PutUint16(b[8:], p.SrcPort)
+	binary.BigEndian.PutUint16(b[10:], p.DstPort)
+	if p.TCP {
+		b[12] = 6
+	} else {
+		b[12] = 17
+	}
+	h.Write(b[:])
+	return h.Sum32()
+}
+
+// Config sets NIC geometry and costs.
+type Config struct {
+	Queues int
+	// RingSize bounds each RX queue's descriptor ring (packets dropped on
+	// overflow, as when the host cannot keep up).
+	RingSize int
+	// OffloadCost is the on-NIC per-packet program cost. NIC engines are
+	// heavily parallel, so this models added wire latency rather than a
+	// serial bottleneck.
+	OffloadCost sim.Time
+	// HostMapRTT is the host↔NIC round trip for map operations on
+	// offloaded maps (Table 3 measures ≈25 µs on the Netronome).
+	HostMapRTT sim.Time
+}
+
+func (c *Config) fill() {
+	if c.Queues == 0 {
+		c.Queues = 1
+	}
+	if c.RingSize == 0 {
+		c.RingSize = 1024
+	}
+	if c.OffloadCost == 0 {
+		c.OffloadCost = 300 * sim.Nanosecond
+	}
+	if c.HostMapRTT == 0 {
+		c.HostMapRTT = 25 * sim.Microsecond
+	}
+}
+
+// DeliverFunc receives packets the NIC has placed on a queue; the host
+// (softirq) side consumes them. Returning false signals backpressure: the
+// packet stays accounted against the ring until the host drains it.
+type DeliverFunc func(queue int, pkt *Packet)
+
+// Stats counts NIC-level events.
+type Stats struct {
+	Received     uint64
+	DroppedRing  uint64
+	DroppedByXDP uint64
+	OffloadRuns  uint64
+}
+
+// NIC is the simulated device.
+type NIC struct {
+	eng *sim.Engine
+	cfg Config
+
+	rssTable []int // 128-entry indirection table
+
+	offload *ebpf.Program
+	env     *ebpf.Env
+
+	// inflight counts packets handed to the host but not yet consumed,
+	// per queue; it bounds the ring.
+	inflight []int
+
+	deliver DeliverFunc
+
+	Stats Stats
+}
+
+// New creates a NIC; deliver is invoked (via the event loop) for every
+// packet that survives steering.
+func New(eng *sim.Engine, cfg Config, deliver DeliverFunc) *NIC {
+	cfg.fill()
+	n := &NIC{eng: eng, cfg: cfg, deliver: deliver, inflight: make([]int, cfg.Queues)}
+	n.rssTable = make([]int, 128)
+	for i := range n.rssTable {
+		n.rssTable[i] = i % cfg.Queues
+	}
+	n.env = &ebpf.Env{
+		Prandom: func() uint32 { return eng.Rand().Uint32() },
+		Ktime:   func() uint64 { return uint64(eng.Now()) },
+	}
+	return n
+}
+
+// NumQueues reports the RX queue count.
+func (n *NIC) NumQueues() int { return n.cfg.Queues }
+
+// HostMapRTT reports the configured host↔NIC map round trip.
+func (n *NIC) HostMapRTT() sim.Time { return n.cfg.HostMapRTT }
+
+// SetOffloadProgram installs the XDP Offload hook program (nil clears). The
+// program's verdict selects the RX queue; PASS falls back to RSS; DROP
+// discards the frame.
+func (n *NIC) SetOffloadProgram(p *ebpf.Program) {
+	n.offload = p
+}
+
+// Receive is called at the packet's wire-arrival time. It runs offloaded
+// steering, applies RSS otherwise, and hands the packet to the host after
+// the device-side costs.
+func (n *NIC) Receive(pkt *Packet) {
+	n.Stats.Received++
+	pkt.ArrivedAt = n.eng.Now()
+	hash := pkt.RSSHash()
+	queue := n.rssTable[hash%uint32(len(n.rssTable))]
+	extra := sim.Time(0)
+
+	if n.offload != nil {
+		n.Stats.OffloadRuns++
+		extra = n.cfg.OffloadCost
+		ctx := &ebpf.Ctx{
+			Packet: pkt.Bytes(),
+			Hash:   hash,
+			Port:   uint32(pkt.DstPort),
+			Queue:  uint32(queue),
+		}
+		verdict, _, err := n.offload.Run(ctx, n.env)
+		switch {
+		case err != nil:
+			// A verified program should never fault; treat like PASS.
+		case verdict == ebpf.VerdictDrop:
+			n.Stats.DroppedByXDP++
+			return
+		case verdict == ebpf.VerdictPass:
+			// keep RSS choice
+		case int(verdict) < n.cfg.Queues:
+			queue = int(verdict)
+		default:
+			// Out-of-range executor index: no such queue.
+			n.Stats.DroppedByXDP++
+			return
+		}
+	}
+
+	if n.inflight[queue] >= n.cfg.RingSize {
+		n.Stats.DroppedRing++
+		return
+	}
+	n.inflight[queue]++
+	pkt.Queue = queue
+	n.eng.After(extra, func() { n.deliver(queue, pkt) })
+}
+
+// Consumed tells the NIC the host finished taking a packet off a ring.
+func (n *NIC) Consumed(queue int) {
+	if n.inflight[queue] <= 0 {
+		panic(fmt.Sprintf("nic: Consumed on empty ring %d", queue))
+	}
+	n.inflight[queue]--
+}
+
+// OffloadedMap wraps an on-NIC map with host-access latency: every
+// operation issued from the host completes after the PCIe round trip, while
+// the NIC-side program keeps memory-speed access (Table 3). Host-side calls
+// are asynchronous because they consume simulated time.
+type OffloadedMap struct {
+	eng *sim.Engine
+	m   *ebpf.Map
+	rtt sim.Time
+}
+
+// OffloadMap declares m as living on the NIC.
+func (n *NIC) OffloadMap(m *ebpf.Map) *OffloadedMap {
+	return &OffloadedMap{eng: n.eng, m: m, rtt: n.cfg.HostMapRTT}
+}
+
+// Inner returns the underlying map (the NIC-side view).
+func (o *OffloadedMap) Inner() *ebpf.Map { return o.m }
+
+// RTT reports the modeled host access latency.
+func (o *OffloadedMap) RTT() sim.Time { return o.rtt }
+
+// LookupUint64 reads key from the host; done receives the value after the
+// round trip.
+func (o *OffloadedMap) LookupUint64(key uint32, done func(v uint64, ok bool)) {
+	o.eng.After(o.rtt, func() {
+		v, ok := o.m.LookupUint64(key)
+		done(v, ok)
+	})
+}
+
+// UpdateUint64 writes key from the host; done (optional) fires after the
+// round trip.
+func (o *OffloadedMap) UpdateUint64(key uint32, v uint64, done func(err error)) {
+	o.eng.After(o.rtt, func() {
+		err := o.m.UpdateUint64(key, v)
+		if done != nil {
+			done(err)
+		}
+	})
+}

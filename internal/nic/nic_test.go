@@ -1,0 +1,195 @@
+package nic
+
+import (
+	"testing"
+
+	"syrup/internal/ebpf"
+	"syrup/internal/sim"
+)
+
+func mkPkt(id uint64, srcPort uint16, payload []byte) *Packet {
+	return &Packet{ID: id, SrcIP: 0x0a000001, DstIP: 0x0a000002, SrcPort: srcPort, DstPort: 9000, Payload: payload}
+}
+
+func TestPacketBytesLayout(t *testing.T) {
+	p := mkPkt(1, 0x1234, []byte{0xaa, 0xbb})
+	b := p.Bytes()
+	if len(b) != 10 {
+		t.Fatalf("wire length %d", len(b))
+	}
+	if b[0] != 0x12 || b[1] != 0x34 {
+		t.Fatalf("src port bytes %x %x", b[0], b[1])
+	}
+	if b[2] != 0x23 || b[3] != 0x28 { // 9000 = 0x2328
+		t.Fatalf("dst port bytes %x %x", b[2], b[3])
+	}
+	if b[8] != 0xaa || b[9] != 0xbb {
+		t.Fatal("payload misplaced")
+	}
+	// Cached: mutations persist.
+	b[8] = 0xcc
+	if p.Bytes()[8] != 0xcc {
+		t.Fatal("wire view not cached")
+	}
+}
+
+func TestRSSHashStability(t *testing.T) {
+	a := mkPkt(1, 100, nil)
+	b := mkPkt(2, 100, nil)
+	if a.RSSHash() != b.RSSHash() {
+		t.Fatal("same 5-tuple hashed differently")
+	}
+	c := mkPkt(3, 101, nil)
+	if a.RSSHash() == c.RSSHash() {
+		t.Fatal("different flows hashed identically (exceedingly unlikely)")
+	}
+}
+
+func TestRSSSpreadsAcrossQueues(t *testing.T) {
+	eng := sim.New(1)
+	got := map[int]int{}
+	dev := New(eng, Config{Queues: 4}, func(q int, pkt *Packet) { got[q]++ })
+	for i := 0; i < 400; i++ {
+		dev.Receive(mkPkt(uint64(i), uint16(1000+i), nil))
+	}
+	eng.Run()
+	// Each of 400 distinct flows should land on some queue; all 4 queues
+	// should see a reasonable share.
+	total := 0
+	for q := 0; q < 4; q++ {
+		if got[q] < 50 {
+			t.Fatalf("queue %d got %d of 400 flows", q, got[q])
+		}
+		total += got[q]
+	}
+	if total != 400 {
+		t.Fatalf("delivered %d", total)
+	}
+}
+
+func TestRingOverflowDrops(t *testing.T) {
+	eng := sim.New(1)
+	delivered := 0
+	var dev *NIC
+	dev = New(eng, Config{Queues: 1, RingSize: 8}, func(q int, pkt *Packet) { delivered++ })
+	// The host never consumes: after 8 packets the ring is full.
+	for i := 0; i < 20; i++ {
+		dev.Receive(mkPkt(uint64(i), 100, nil))
+	}
+	eng.Run()
+	if dev.Stats.DroppedRing != 12 {
+		t.Fatalf("ring drops = %d, want 12", dev.Stats.DroppedRing)
+	}
+	if delivered != 8 {
+		t.Fatalf("delivered = %d, want 8", delivered)
+	}
+	// Consuming frees space.
+	for i := 0; i < 8; i++ {
+		dev.Consumed(0)
+	}
+	dev.Receive(mkPkt(99, 100, nil))
+	eng.Run()
+	if delivered != 9 {
+		t.Fatalf("post-consume delivery failed: %d", delivered)
+	}
+}
+
+func TestOffloadProgramSteersQueues(t *testing.T) {
+	eng := sim.New(1)
+	var gotQueue []int
+	dev := New(eng, Config{Queues: 4}, func(q int, pkt *Packet) { gotQueue = append(gotQueue, q) })
+	// Steer by first payload byte (a MICA-style key-hash steering policy).
+	prog := ebpf.MustLoad("steer", []ebpf.Instruction{
+		ebpf.Ldx(8, ebpf.R2, ebpf.R1, ebpf.CtxOffData),
+		ebpf.Ldx(8, ebpf.R3, ebpf.R1, ebpf.CtxOffDataEnd),
+		ebpf.MovReg(ebpf.R4, ebpf.R2),
+		ebpf.ALUImm(ebpf.ALUAdd, ebpf.R4, 9),
+		ebpf.JmpReg(ebpf.JmpGt, ebpf.R4, ebpf.R3, 3),
+		ebpf.Ldx(1, ebpf.R0, ebpf.R2, 8),
+		ebpf.ALUImm(ebpf.ALUMod, ebpf.R0, 4),
+		ebpf.Exit(),
+		ebpf.MovImm(ebpf.R0, -1), // PASS
+		ebpf.Exit(),
+	}, ebpf.LoadOptions{})
+	dev.SetOffloadProgram(prog)
+	for i := 0; i < 8; i++ {
+		dev.Receive(mkPkt(uint64(i), 100, []byte{byte(i)}))
+	}
+	eng.Run()
+	if len(gotQueue) != 8 {
+		t.Fatalf("delivered %d", len(gotQueue))
+	}
+	for i, q := range gotQueue {
+		if q != i%4 {
+			t.Fatalf("packet %d steered to queue %d, want %d", i, q, i%4)
+		}
+	}
+	if dev.Stats.OffloadRuns != 8 {
+		t.Fatalf("offload runs = %d", dev.Stats.OffloadRuns)
+	}
+}
+
+func TestOffloadDropAndOutOfRange(t *testing.T) {
+	eng := sim.New(1)
+	delivered := 0
+	dev := New(eng, Config{Queues: 2}, func(q int, pkt *Packet) { delivered++ })
+	drop := ebpf.MustLoad("drop", []ebpf.Instruction{
+		ebpf.MovImm(ebpf.R0, -2), // DROP
+		ebpf.Exit(),
+	}, ebpf.LoadOptions{})
+	dev.SetOffloadProgram(drop)
+	dev.Receive(mkPkt(1, 100, nil))
+	eng.Run()
+	if delivered != 0 || dev.Stats.DroppedByXDP != 1 {
+		t.Fatalf("drop verdict ignored: delivered=%d drops=%d", delivered, dev.Stats.DroppedByXDP)
+	}
+	oob := ebpf.MustLoad("oob", []ebpf.Instruction{
+		ebpf.MovImm(ebpf.R0, 99),
+		ebpf.Exit(),
+	}, ebpf.LoadOptions{})
+	dev.SetOffloadProgram(oob)
+	dev.Receive(mkPkt(2, 100, nil))
+	eng.Run()
+	if delivered != 0 || dev.Stats.DroppedByXDP != 2 {
+		t.Fatalf("out-of-range verdict not dropped: delivered=%d", delivered)
+	}
+}
+
+func TestOffloadedMapLatency(t *testing.T) {
+	eng := sim.New(1)
+	dev := New(eng, Config{Queues: 1, HostMapRTT: 25 * sim.Microsecond}, func(int, *Packet) {})
+	m := ebpf.MustNewMap(ebpf.MapSpec{Name: "m", Type: ebpf.MapArray, KeySize: 4, ValueSize: 8, MaxEntries: 1})
+	om := dev.OffloadMap(m)
+	var wroteAt, readAt sim.Time
+	om.UpdateUint64(0, 42, func(err error) {
+		if err != nil {
+			t.Errorf("update: %v", err)
+		}
+		wroteAt = eng.Now()
+		om.LookupUint64(0, func(v uint64, ok bool) {
+			if !ok || v != 42 {
+				t.Errorf("lookup got %d %v", v, ok)
+			}
+			readAt = eng.Now()
+		})
+	})
+	eng.Run()
+	if wroteAt != 25*sim.Microsecond || readAt != 50*sim.Microsecond {
+		t.Fatalf("offloaded map RTTs: write %v read %v", wroteAt, readAt)
+	}
+	// NIC-side access (Inner) is immediate.
+	if v, _ := om.Inner().LookupUint64(0); v != 42 {
+		t.Fatal("inner map view inconsistent")
+	}
+}
+
+func TestConsumedUnderflowPanics(t *testing.T) {
+	eng := sim.New(1)
+	dev := New(eng, Config{Queues: 1}, func(int, *Packet) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Consumed on empty ring did not panic")
+		}
+	}()
+	dev.Consumed(0)
+}

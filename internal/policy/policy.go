@@ -1,0 +1,237 @@
+// Package policy ships the scheduling policies the paper evaluates, in two
+// forms: the packet policies as .syr assembly sources (the policy-file
+// format users hand to syrupd) and the thread policies as native userspace
+// code for the ghOSt hook. It also defines the application request header
+// the packet policies parse.
+package policy
+
+import (
+	"embed"
+	"encoding/binary"
+	"fmt"
+
+	"syrup/internal/ebpf"
+	"syrup/internal/ghost"
+	"syrup/internal/kernel"
+	"syrup/internal/sim"
+)
+
+//go:embed policies/*.syr
+var sources embed.FS
+
+// Policy names accepted by Source and the syrupd deploy protocol.
+const (
+	NameHash       = "hash"
+	NameRoundRobin = "round_robin"
+	NameScanAvoid  = "scan_avoid"
+	NameSITA       = "sita"
+	NameToken      = "token"
+	NameMicaHash   = "mica_hash"
+)
+
+// Names lists the built-in policies.
+func Names() []string {
+	return []string{NameHash, NameRoundRobin, NameScanAvoid, NameSITA, NameToken, NameMicaHash}
+}
+
+// Source returns the .syr source of a built-in policy.
+func Source(name string) (string, error) {
+	b, err := sources.ReadFile("policies/" + name + ".syr")
+	if err != nil {
+		return "", fmt.Errorf("policy: unknown policy %q", name)
+	}
+	return string(b), nil
+}
+
+// MustSource is Source for static names.
+func MustSource(name string) string {
+	s, err := Source(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Request types carried in the application header (shared by the RocksDB-
+// and MICA-style workloads and the policies that peek at payloads).
+const (
+	ReqGET  uint64 = 1
+	ReqSCAN uint64 = 2
+	ReqPUT  uint64 = 3
+)
+
+// Application header layout within the packet payload (wire offsets are
+// 8 bytes higher because the UDP header precedes the payload):
+//
+//	[0:8)   request type (u64)
+//	[8:12)  user id (u32)      — token policy
+//	[12:16) key hash (u32)     — MICA steering
+//	[16:24) request id (u64)
+const HeaderSize = 24
+
+// EncodeHeader builds a request payload header.
+func EncodeHeader(reqType uint64, userID, keyHash uint32, reqID uint64) []byte {
+	b := make([]byte, HeaderSize)
+	binary.LittleEndian.PutUint64(b[0:], reqType)
+	binary.LittleEndian.PutUint32(b[8:], userID)
+	binary.LittleEndian.PutUint32(b[12:], keyHash)
+	binary.LittleEndian.PutUint64(b[16:], reqID)
+	return b
+}
+
+// DecodeHeader parses a payload header; ok=false if truncated.
+func DecodeHeader(b []byte) (reqType uint64, userID, keyHash uint32, reqID uint64, ok bool) {
+	if len(b) < HeaderSize {
+		return 0, 0, 0, 0, false
+	}
+	return binary.LittleEndian.Uint64(b[0:]),
+		binary.LittleEndian.Uint32(b[8:]),
+		binary.LittleEndian.Uint32(b[12:]),
+		binary.LittleEndian.Uint64(b[16:]),
+		true
+}
+
+// Load assembles, links, and verifies a built-in policy with deploy-time
+// defines (e.g., NUM_THREADS) and optional shared maps.
+func Load(name string, defines map[string]int64, shared map[string]*ebpf.Map) (*ebpf.Program, map[string]*ebpf.Map, error) {
+	src, err := Source(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ebpf.AssembleAndLoad(name, src, defines, shared)
+}
+
+// SITADefines builds the define set SITA needs for n threads.
+func SITADefines(n int) map[string]int64 {
+	return map[string]int64{"NUM_THREADS": int64(n), "NT_MINUS_1": int64(n - 1)}
+}
+
+// MarkRequestType is the userspace half of SCAN Avoid (paper Fig. 5b): the
+// application updates scan_state around request processing so the kernel
+// half can steer datagrams away from threads serving SCANs.
+func MarkRequestType(scanState *ebpf.Map, threadSlot uint32, reqType uint64) error {
+	return scanState.UpdateUint64(threadSlot, reqType)
+}
+
+// TokenAgent is the userspace half of the token policy (§3.4 / §5.2.2): an
+// epoch timer that replenishes the latency-sensitive user's tokens and
+// gifts any leftovers to the best-effort user.
+type TokenAgent struct {
+	Tokens      *ebpf.Map
+	LSUser      uint32
+	BEUser      uint32
+	PerEpoch    uint64 // tokens granted to the LS user each epoch
+	Epoch       sim.Time
+	ticker      *sim.Ticker
+	GiftedTotal uint64
+}
+
+// Start begins the replenish loop on eng.
+func (a *TokenAgent) Start(eng *sim.Engine) {
+	if a.Epoch <= 0 {
+		panic("policy: token epoch must be positive")
+	}
+	// Initial grant so the first epoch isn't dry.
+	a.Tokens.UpdateUint64(a.LSUser, a.PerEpoch)
+	a.ticker = eng.NewTicker(a.Epoch, func() {
+		leftover, _ := a.Tokens.LookupUint64(a.LSUser)
+		if leftover > 0 {
+			// Gift unconsumed tokens to the best-effort user.
+			a.Tokens.AddUint64(a.BEUser, leftover)
+			a.GiftedTotal += leftover
+		}
+		a.Tokens.UpdateUint64(a.LSUser, a.PerEpoch)
+	})
+}
+
+// Stop halts replenishment.
+func (a *TokenAgent) Stop() {
+	if a.ticker != nil {
+		a.ticker.Stop()
+	}
+}
+
+// GetPriority is the ghOSt thread policy from §5.3: threads processing GET
+// requests get strict priority over threads processing SCANs, preempting
+// them at will. The request type per thread slot comes from an
+// application-populated map (the same cross-layer Map mechanism as SCAN
+// Avoid's userspace half).
+type GetPriority struct {
+	// TypeOf reports the request type a thread is about to process (or 0
+	// when idle). Applications back this with a Map lookup.
+	TypeOf func(t *kernel.Thread) uint64
+}
+
+// Schedule implements ghost.Policy.
+func (p *GetPriority) Schedule(now sim.Time, runnable []*kernel.Thread, cpus []ghost.CPUView) []ghost.Placement {
+	var gets, others []*kernel.Thread
+	for _, t := range runnable {
+		if p.TypeOf(t) == ReqGET {
+			gets = append(gets, t)
+		} else {
+			others = append(others, t)
+		}
+	}
+	var out []ghost.Placement
+	used := make(map[kernel.CPUID]bool, len(cpus))
+
+	// GET threads take idle cores first, then preempt SCAN-running cores.
+	for _, t := range gets {
+		placed := false
+		for _, c := range cpus {
+			if used[c.ID] || c.Curr != nil {
+				continue
+			}
+			out = append(out, ghost.Placement{Thread: t, CPU: c.ID})
+			used[c.ID] = true
+			placed = true
+			break
+		}
+		if placed {
+			continue
+		}
+		for _, c := range cpus {
+			if used[c.ID] || c.Curr == nil {
+				continue
+			}
+			if p.TypeOf(c.Curr) != ReqGET {
+				out = append(out, ghost.Placement{Thread: t, CPU: c.ID, Preempt: true})
+				used[c.ID] = true
+				break
+			}
+		}
+	}
+	// Everyone else fills remaining idle cores FIFO.
+	for _, t := range others {
+		for _, c := range cpus {
+			if used[c.ID] || c.Curr != nil {
+				continue
+			}
+			out = append(out, ghost.Placement{Thread: t, CPU: c.ID})
+			used[c.ID] = true
+			break
+		}
+	}
+	return out
+}
+
+// FIFO is a baseline ghOSt policy: runnable threads fill idle cores in
+// wake order, never preempting.
+type FIFO struct{}
+
+// Schedule implements ghost.Policy.
+func (FIFO) Schedule(now sim.Time, runnable []*kernel.Thread, cpus []ghost.CPUView) []ghost.Placement {
+	var out []ghost.Placement
+	i := 0
+	for _, c := range cpus {
+		if c.Curr != nil {
+			continue
+		}
+		if i >= len(runnable) {
+			break
+		}
+		out = append(out, ghost.Placement{Thread: runnable[i], CPU: c.ID})
+		i++
+	}
+	return out
+}

@@ -1,0 +1,212 @@
+// Package sim provides the deterministic discrete-event engine that
+// underpins the simulated end-host: a virtual clock in nanoseconds, an
+// event heap with stable FIFO ordering for simultaneous events, and a
+// seeded PRNG so that every experiment is exactly reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand/v2"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation. It is a distinct type so that virtual durations and wall-clock
+// time.Duration values cannot be mixed up silently.
+type Time int64
+
+// Convenient duration units in virtual nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000
+	Millisecond Time = 1000 * 1000
+	Second      Time = 1000 * 1000 * 1000
+)
+
+// Micros reports t as a float64 number of microseconds.
+func (t Time) Micros() float64 { return float64(t) / 1000.0 }
+
+// String formats the time as microseconds with nanosecond precision.
+func (t Time) String() string { return fmt.Sprintf("%.3fus", t.Micros()) }
+
+// Event is a scheduled callback. Holding the value returned by Schedule
+// allows the caller to Cancel the event before it fires (e.g., a preemption
+// canceling a pending burst-completion event).
+type Event struct {
+	at    Time
+	seq   uint64 // tie-break: FIFO among simultaneous events
+	index int    // heap index; -1 when not queued
+	fn    func()
+}
+
+// Time reports when the event is (or was) scheduled to fire.
+func (ev *Event) Time() Time { return ev.at }
+
+// Canceled reports whether the event has been canceled or already fired.
+func (ev *Event) Canceled() bool { return ev.fn == nil }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event simulator. It is not safe for
+// concurrent use; all simulated entities run inside event callbacks.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	rng     *rand.Rand
+	stopped bool
+	fired   uint64
+}
+
+// New returns an engine whose PRNG is seeded deterministically from seed.
+func New(seed uint64) *Engine {
+	return &Engine{rng: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand exposes the engine's deterministic PRNG. All simulated randomness
+// (service times, hash salts, policy get_prandom_u32) must come from here.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Fired reports how many events have executed, a cheap progress metric.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports how many events are queued.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it always indicates a modeling bug, and silently clamping would
+// corrupt causality.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event callback")
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (e *Engine) After(d Time, fn func()) *Event { return e.At(e.now+d, fn) }
+
+// Cancel removes ev from the queue. Canceling an already-fired or
+// already-canceled event is a no-op, which makes teardown code simple.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.fn == nil {
+		return
+	}
+	ev.fn = nil
+	if ev.index >= 0 {
+		heap.Remove(&e.events, ev.index)
+	}
+}
+
+// Stop makes the current Run/RunUntil call return after the in-flight
+// callback finishes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the queue drains or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		e.step()
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock to
+// exactly t. Events scheduled at t by other events at t still run.
+func (e *Engine) RunUntil(t Time) {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped && e.events[0].at <= t {
+		e.step()
+	}
+	if !e.stopped && e.now < t {
+		e.now = t
+	}
+}
+
+func (e *Engine) step() {
+	ev := heap.Pop(&e.events).(*Event)
+	if ev.fn == nil {
+		return // canceled while queued (defensive; Cancel removes eagerly)
+	}
+	if ev.at < e.now {
+		panic("sim: event heap produced time regression")
+	}
+	e.now = ev.at
+	fn := ev.fn
+	ev.fn = nil
+	e.fired++
+	fn()
+}
+
+// Ticker invokes fn every period until canceled. It is used for epoch-based
+// agents (e.g., the token replenisher) and scheduler ticks.
+type Ticker struct {
+	e      *Engine
+	period Time
+	ev     *Event
+	fn     func()
+	done   bool
+}
+
+// NewTicker starts a ticker whose first tick fires one period from now.
+func (e *Engine) NewTicker(period Time, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	t := &Ticker{e: e, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.e.After(t.period, func() {
+		if t.done {
+			return
+		}
+		t.fn()
+		if !t.done {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels the ticker.
+func (t *Ticker) Stop() {
+	t.done = true
+	t.e.Cancel(t.ev)
+}

@@ -1,0 +1,230 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := New(1)
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("clock = %v, want 30", e.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	e := New(1)
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("simultaneous events not FIFO at %d: %v", i, got[:i+1])
+		}
+	}
+}
+
+func TestAfterAccumulates(t *testing.T) {
+	e := New(1)
+	var times []Time
+	e.At(100, func() {
+		e.After(50, func() { times = append(times, e.Now()) })
+	})
+	e.Run()
+	if len(times) != 1 || times[0] != 150 {
+		t.Fatalf("After misfired: %v", times)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New(1)
+	fired := false
+	ev := e.At(10, func() { fired = true })
+	e.Cancel(ev)
+	e.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if !ev.Canceled() {
+		t.Fatal("event does not report canceled")
+	}
+	// Double-cancel and cancel-after-run must be no-ops.
+	e.Cancel(ev)
+	ev2 := e.At(20, func() {})
+	e.Run()
+	e.Cancel(ev2)
+}
+
+func TestCancelFromInsideEvent(t *testing.T) {
+	e := New(1)
+	fired := false
+	var victim *Event
+	victim = e.At(10, func() { fired = true })
+	e.At(5, func() { e.Cancel(victim) })
+	e.Run()
+	if fired {
+		t.Fatal("event canceled at t=5 still fired at t=10")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New(1)
+	var got []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		e.At(at, func() { got = append(got, at) })
+	}
+	e.RunUntil(25)
+	if len(got) != 2 || e.Now() != 25 {
+		t.Fatalf("RunUntil(25): got %v now %v", got, e.Now())
+	}
+	e.RunUntil(40)
+	if len(got) != 4 || e.Now() != 40 {
+		t.Fatalf("RunUntil(40): got %v now %v", got, e.Now())
+	}
+}
+
+func TestRunUntilRunsEventsScheduledAtBoundary(t *testing.T) {
+	e := New(1)
+	n := 0
+	e.At(10, func() {
+		n++
+		e.At(10, func() { n++ })
+	})
+	e.RunUntil(10)
+	if n != 2 {
+		t.Fatalf("boundary-time chained event did not run: n=%d", n)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := New(1)
+	e.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(50, func() {})
+	})
+	e.Run()
+}
+
+func TestStop(t *testing.T) {
+	e := New(1)
+	n := 0
+	e.At(1, func() { n++; e.Stop() })
+	e.At(2, func() { n++ })
+	e.Run()
+	if n != 1 {
+		t.Fatalf("Stop did not halt run loop: n=%d", n)
+	}
+	e.Run() // resumes
+	if n != 2 {
+		t.Fatalf("resumed run did not execute remaining event: n=%d", n)
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := New(1)
+	var ticks []Time
+	var tk *Ticker
+	tk = e.NewTicker(100, func() {
+		ticks = append(ticks, e.Now())
+		if len(ticks) == 5 {
+			tk.Stop()
+		}
+	})
+	e.Run()
+	if len(ticks) != 5 {
+		t.Fatalf("got %d ticks, want 5", len(ticks))
+	}
+	for i, at := range ticks {
+		if want := Time(100 * (i + 1)); at != want {
+			t.Fatalf("tick %d at %v, want %v", i, at, want)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []uint64 {
+		e := New(42)
+		var out []uint64
+		for i := 0; i < 50; i++ {
+			d := Time(e.Rand().Int64N(1000)) + 1
+			e.After(d, func() { out = append(out, e.Rand().Uint64()) })
+		}
+		e.Run()
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic event count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic rng stream at %d", i)
+		}
+	}
+}
+
+// Property: for any batch of events with arbitrary (non-negative) offsets,
+// the engine fires them in nondecreasing time order and finishes with the
+// clock at the max timestamp.
+func TestPropertyMonotoneClock(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		e := New(7)
+		var fireTimes []Time
+		var max Time
+		for _, off := range offsets {
+			at := Time(off)
+			if at > max {
+				max = at
+			}
+			e.At(at, func() { fireTimes = append(fireTimes, e.Now()) })
+		}
+		e.Run()
+		for i := 1; i < len(fireTimes); i++ {
+			if fireTimes[i] < fireTimes[i-1] {
+				return false
+			}
+		}
+		return len(offsets) == 0 || e.Now() == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMicrosAndString(t *testing.T) {
+	if Microsecond.Micros() != 1 {
+		t.Fatal("Micros conversion wrong")
+	}
+	if s := (1500 * Nanosecond).String(); s != "1.500us" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func BenchmarkScheduleAndFire(b *testing.B) {
+	e := New(1)
+	fn := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(Time(i%64), fn)
+		if e.Pending() > 1024 {
+			e.Run()
+		}
+	}
+	e.Run()
+}

@@ -1,0 +1,123 @@
+package syrupd
+
+import (
+	"fmt"
+
+	"syrup/internal/ebpf"
+	"syrup/internal/netstack"
+)
+
+// dispatcher is the per-hook isolation layer for device-wide hooks: a root
+// program the daemon generates once, a port→slot HASH map, and a PROG_ARRAY
+// holding one slot per application policy. The root looks up the packet's
+// destination port; a hit tail-calls the owning app's program, a miss
+// PASSes to the default path (§4.3).
+type dispatcher struct {
+	hook      Hook
+	root      *ebpf.Program
+	portMap   *ebpf.Map // u32 port -> u64 slot
+	progArray *ebpf.Map
+	nextSlot  uint32
+	slotOf    map[uint32]uint32 // app id -> prog array slot
+}
+
+const dispatcherSlots = 64
+
+// dispatcher returns (building and installing on first use) the hook's
+// dispatcher.
+func (d *Daemon) dispatcher(hook Hook) (*dispatcher, error) {
+	if disp, ok := d.dispatch[hook]; ok {
+		return disp, nil
+	}
+	portMap := ebpf.MustNewMap(ebpf.MapSpec{
+		Name: fmt.Sprintf("syrupd-%s-ports", hook), Type: ebpf.MapHash,
+		KeySize: 4, ValueSize: 8, MaxEntries: dispatcherSlots,
+	})
+	progArray := ebpf.MustNewMap(ebpf.MapSpec{
+		Name: fmt.Sprintf("syrupd-%s-progs", hook), Type: ebpf.MapProgArray,
+		KeySize: 4, ValueSize: 4, MaxEntries: dispatcherSlots,
+	})
+	root, err := buildRootDispatcher(string(hook), portMap, progArray)
+	if err != nil {
+		return nil, err
+	}
+	disp := &dispatcher{
+		hook: hook, root: root, portMap: portMap, progArray: progArray,
+		slotOf: make(map[uint32]uint32),
+	}
+	// Install the root at the hook point.
+	switch hook {
+	case HookCPURedirect:
+		d.stack.SetCPURedirect(root)
+	case HookXDPDrv:
+		d.stack.SetXDP(netstack.XDPNative, root)
+	case HookXDPSkb:
+		d.stack.SetXDP(netstack.XDPGeneric, root)
+	case HookXDPOffload:
+		if d.dev == nil {
+			return nil, fmt.Errorf("syrupd: host has no NIC for offload")
+		}
+		d.dev.SetOffloadProgram(root)
+	default:
+		return nil, fmt.Errorf("syrupd: hook %q has no dispatcher", hook)
+	}
+	d.dispatch[hook] = disp
+	return disp, nil
+}
+
+// buildRootDispatcher generates and verifies the root program. It is
+// ordinary verified bytecode — the daemon enjoys no special VM privileges.
+func buildRootDispatcher(name string, portMap, progArray *ebpf.Map) (*ebpf.Program, error) {
+	table := ebpf.NewMapTable()
+	portFD := table.Register(portMap)
+	progFD := table.Register(progArray)
+
+	var insns []ebpf.Instruction
+	// r6 = ctx (callee-saved across helper calls)
+	insns = append(insns, ebpf.MovReg(ebpf.R6, ebpf.R1))
+	// key = ctx->port
+	insns = append(insns, ebpf.Ldx(4, ebpf.R2, ebpf.R1, ebpf.CtxOffPort))
+	insns = append(insns, ebpf.Stx(4, ebpf.R10, ebpf.R2, -4))
+	insns = append(insns, ebpf.LoadMapFD(ebpf.R1, portFD)...)
+	insns = append(insns,
+		ebpf.MovReg(ebpf.R2, ebpf.R10),
+		ebpf.ALUImm(ebpf.ALUAdd, ebpf.R2, -4),
+		ebpf.Call(ebpf.HelperMapLookup),
+		ebpf.JmpImm(ebpf.JmpEq, ebpf.R0, 0, 5), // miss -> pass (skip 5 insns)
+		ebpf.Ldx(8, ebpf.R3, ebpf.R0, 0),       // slot
+		ebpf.MovReg(ebpf.R1, ebpf.R6),          // ctx
+	)
+	insns = append(insns, ebpf.LoadMapFD(ebpf.R2, progFD)...)
+	insns = append(insns,
+		ebpf.Call(ebpf.HelperTailCall),
+		// Tail call only returns on failure (e.g., slot cleared): pass.
+		ebpf.MovImm(ebpf.R0, -1), // PASS
+		ebpf.Exit(),
+	)
+	return ebpf.Load("syrupd-dispatch-"+name, insns, ebpf.LoadOptions{MapTable: table})
+}
+
+// install binds an app's program into the dispatcher for all its ports.
+func (disp *dispatcher) install(app *App, prog *ebpf.Program) error {
+	if len(app.Ports) == 0 {
+		return fmt.Errorf("syrupd: app %d owns no ports", app.ID)
+	}
+	slot, ok := disp.slotOf[app.ID]
+	if !ok {
+		if disp.nextSlot >= dispatcherSlots {
+			return fmt.Errorf("syrupd: %s dispatcher full", disp.hook)
+		}
+		slot = disp.nextSlot
+		disp.nextSlot++
+		disp.slotOf[app.ID] = slot
+	}
+	if err := disp.progArray.UpdateProg(slot, prog); err != nil {
+		return err
+	}
+	for _, port := range app.Ports {
+		if err := disp.portMap.UpdateUint64(uint32(port), uint64(slot)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

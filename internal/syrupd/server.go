@@ -1,0 +1,224 @@
+package syrupd
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+
+	"syrup/internal/policy"
+)
+
+// This file implements syrupd's control protocol: newline-delimited JSON
+// over a Unix domain socket, the stand-in for the paper's
+// syr_deploy_policy IPC (§3.5: "a long-running daemon that is using a Unix
+// Domain Socket to listen for requests from applications").
+
+// Request is one client command.
+type Request struct {
+	Op string `json:"op"` // register_app | deploy | map_lookup | map_update | list_policies | stats
+
+	// register_app
+	App   uint32   `json:"app,omitempty"`
+	UID   uint32   `json:"uid,omitempty"`
+	Ports []uint16 `json:"ports,omitempty"`
+
+	// deploy: either Policy (a built-in name) or Source (.syr text).
+	Hook    string           `json:"hook,omitempty"`
+	Policy  string           `json:"policy,omitempty"`
+	Source  string           `json:"source,omitempty"`
+	Defines map[string]int64 `json:"defines,omitempty"`
+
+	// map_lookup / map_update
+	Path  string `json:"path,omitempty"`
+	Key   uint32 `json:"key,omitempty"`
+	Value uint64 `json:"value,omitempty"`
+}
+
+// Response is the server's reply.
+type Response struct {
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+
+	// deploy
+	Instructions int `json:"instructions,omitempty"`
+	SourceLines  int `json:"source_lines,omitempty"`
+
+	// map_lookup
+	Value uint64 `json:"value,omitempty"`
+	Found bool   `json:"found,omitempty"`
+
+	// list_policies
+	Policies []string `json:"policies,omitempty"`
+
+	// stats
+	Stats map[string]float64 `json:"stats,omitempty"`
+}
+
+// Server serves the control protocol for one Daemon. All handling is
+// serialized through mu, which the embedding process also holds while
+// advancing the simulation (the engine is single-threaded).
+type Server struct {
+	mu sync.Mutex
+	d  *Daemon
+	// StatsFunc supplies the embedding host's live metrics for the stats
+	// op (virtual time, throughput, latency percentiles, ...).
+	StatsFunc func() map[string]float64
+
+	ln net.Listener
+}
+
+// NewServer wraps a daemon.
+func NewServer(d *Daemon) *Server { return &Server{d: d} }
+
+// Lock acquires the server's big lock; the embedding simulation loop must
+// hold it while running engine events so protocol handling never races the
+// event loop.
+func (s *Server) Lock() { s.mu.Lock() }
+
+// Unlock releases the big lock.
+func (s *Server) Unlock() { s.mu.Unlock() }
+
+// ListenUnix starts accepting on a Unix socket path. It returns once the
+// listener is ready; connections are handled on background goroutines.
+func (s *Server) ListenUnix(path string) error {
+	ln, err := net.Listen("unix", path)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			go s.serveConn(conn)
+		}
+	}()
+	return nil
+}
+
+// Close stops the listener.
+func (s *Server) Close() error {
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Close()
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1<<20) // policies can be long
+	enc := json.NewEncoder(conn)
+	for scanner.Scan() {
+		var req Request
+		var resp Response
+		if err := json.Unmarshal(scanner.Bytes(), &req); err != nil {
+			resp = Response{Error: "bad request: " + err.Error()}
+		} else {
+			resp = s.Handle(&req)
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+	}
+}
+
+// Handle executes one request under the big lock. It is exported so tests
+// and in-process embeddings can skip the socket.
+func (s *Server) Handle(req *Request) Response {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch req.Op {
+	case "register_app":
+		if _, err := s.d.RegisterApp(req.App, req.UID, req.Ports...); err != nil {
+			return errResp(err)
+		}
+		return Response{OK: true}
+	case "deploy":
+		hook, err := ParseHook(req.Hook)
+		if err != nil {
+			return errResp(err)
+		}
+		src := req.Source
+		if src == "" && req.Policy != "" {
+			s, err := policy.Source(req.Policy)
+			if err != nil {
+				return errResp(err)
+			}
+			src = s
+		}
+		if src == "" {
+			return errResp(fmt.Errorf("syrupd: deploy needs policy or source"))
+		}
+		res, err := s.d.DeployPolicy(req.App, hook, src, req.Defines)
+		if err != nil {
+			return errResp(err)
+		}
+		return Response{OK: true, Instructions: res.Program.Len(), SourceLines: res.SourceLines}
+	case "map_lookup":
+		m, err := s.d.OpenMap(req.Path, req.UID, false)
+		if err != nil {
+			return errResp(err)
+		}
+		v, ok := m.LookupUint64(req.Key)
+		return Response{OK: true, Value: v, Found: ok}
+	case "map_update":
+		m, err := s.d.OpenMap(req.Path, req.UID, true)
+		if err != nil {
+			return errResp(err)
+		}
+		if err := m.UpdateUint64(req.Key, req.Value); err != nil {
+			return errResp(err)
+		}
+		return Response{OK: true}
+	case "list_policies":
+		return Response{OK: true, Policies: policy.Names()}
+	case "stats":
+		resp := Response{OK: true, Stats: map[string]float64{}}
+		if s.StatsFunc != nil {
+			resp.Stats = s.StatsFunc()
+		}
+		return resp
+	}
+	return errResp(fmt.Errorf("syrupd: unknown op %q", req.Op))
+}
+
+func errResp(err error) Response { return Response{Error: err.Error()} }
+
+// Client is a minimal protocol client for tools and tests.
+type Client struct {
+	conn net.Conn
+	enc  *json.Encoder
+	dec  *json.Decoder
+}
+
+// Dial connects to a syrupd control socket.
+func Dial(path string) (*Client, error) {
+	conn, err := net.Dial("unix", path)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, enc: json.NewEncoder(conn), dec: json.NewDecoder(conn)}, nil
+}
+
+// Do sends one request and reads the reply.
+func (c *Client) Do(req *Request) (*Response, error) {
+	if err := c.enc.Encode(req); err != nil {
+		return nil, err
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, err
+	}
+	if !resp.OK && resp.Error != "" {
+		return &resp, fmt.Errorf("syrupd: %s", resp.Error)
+	}
+	return &resp, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }

@@ -1,0 +1,131 @@
+package syrupd
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestServerHandleInProcess(t *testing.T) {
+	h := newHost(t, 1, 0)
+	srv := NewServer(h.d)
+
+	// register_app
+	resp := srv.Handle(&Request{Op: "register_app", App: 1, UID: 1000, Ports: []uint16{9000}})
+	if !resp.OK {
+		t.Fatalf("register: %+v", resp)
+	}
+	// duplicate register fails
+	if resp := srv.Handle(&Request{Op: "register_app", App: 1, UID: 1000, Ports: []uint16{9001}}); resp.OK {
+		t.Fatal("duplicate register accepted")
+	}
+
+	h.stack.NewUDPSocket(9000, 1, "w")
+	h.stack.NewUDPSocket(9000, 1, "w")
+
+	// deploy a builtin
+	resp = srv.Handle(&Request{
+		Op: "deploy", App: 1, Hook: "socket_select",
+		Policy: "round_robin", Defines: map[string]int64{"NUM_THREADS": 2},
+	})
+	if !resp.OK || resp.Instructions == 0 || resp.SourceLines == 0 {
+		t.Fatalf("deploy: %+v", resp)
+	}
+
+	// deploy raw source at xdp
+	resp = srv.Handle(&Request{Op: "deploy", App: 1, Hook: "xdp_skb", Source: "r0 = PASS\nexit\n"})
+	if !resp.OK {
+		t.Fatalf("deploy source: %+v", resp)
+	}
+
+	// deploy errors
+	for _, bad := range []*Request{
+		{Op: "deploy", App: 1, Hook: "bogus", Policy: "round_robin"},
+		{Op: "deploy", App: 1, Hook: "socket_select"},
+		{Op: "deploy", App: 1, Hook: "socket_select", Policy: "nope"},
+		{Op: "deploy", App: 9, Hook: "socket_select", Policy: "round_robin"},
+	} {
+		if resp := srv.Handle(bad); resp.OK {
+			t.Fatalf("bad deploy accepted: %+v", bad)
+		}
+	}
+
+	// map ops through the pin namespace
+	resp = srv.Handle(&Request{Op: "map_update", Path: "/syrup/1/rr_state", UID: 1000, Key: 0, Value: 5})
+	if !resp.OK {
+		t.Fatalf("map_update: %+v", resp)
+	}
+	resp = srv.Handle(&Request{Op: "map_lookup", Path: "/syrup/1/rr_state", UID: 1000, Key: 0})
+	if !resp.OK || !resp.Found || resp.Value != 5 {
+		t.Fatalf("map_lookup: %+v", resp)
+	}
+	// wrong uid
+	if resp := srv.Handle(&Request{Op: "map_lookup", Path: "/syrup/1/rr_state", UID: 42, Key: 0}); resp.OK {
+		t.Fatal("foreign uid read a private map")
+	}
+
+	// list_policies
+	resp = srv.Handle(&Request{Op: "list_policies"})
+	if !resp.OK || len(resp.Policies) < 6 {
+		t.Fatalf("list: %+v", resp)
+	}
+
+	// stats without a StatsFunc
+	if resp := srv.Handle(&Request{Op: "stats"}); !resp.OK {
+		t.Fatalf("stats: %+v", resp)
+	}
+	srv.StatsFunc = func() map[string]float64 { return map[string]float64{"x": 1} }
+	if resp := srv.Handle(&Request{Op: "stats"}); resp.Stats["x"] != 1 {
+		t.Fatalf("stats func: %+v", resp)
+	}
+
+	// unknown op
+	if resp := srv.Handle(&Request{Op: "frobnicate"}); resp.OK {
+		t.Fatal("unknown op accepted")
+	}
+}
+
+func TestServerOverUnixSocket(t *testing.T) {
+	h := newHost(t, 1, 0)
+	h.d.RegisterApp(1, 1000, 9000)
+	h.stack.NewUDPSocket(9000, 1, "w")
+	srv := NewServer(h.d)
+	path := filepath.Join(t.TempDir(), "syrupd.sock")
+	if err := srv.ListenUnix(path); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := Dial(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	resp, err := c.Do(&Request{
+		Op: "deploy", App: 1, Hook: "socket_select",
+		Policy: "round_robin", Defines: map[string]int64{"NUM_THREADS": 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK || resp.Instructions == 0 {
+		t.Fatalf("deploy over uds: %+v", resp)
+	}
+
+	// Error path round-trips as an error.
+	_, err = c.Do(&Request{Op: "deploy", App: 1, Hook: "socket_select", Policy: "nope"})
+	if err == nil || !strings.Contains(err.Error(), "unknown policy") {
+		t.Fatalf("error not propagated: %v", err)
+	}
+
+	// A second client works concurrently.
+	c2, err := Dial(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if resp, err := c2.Do(&Request{Op: "list_policies"}); err != nil || len(resp.Policies) == 0 {
+		t.Fatalf("second client: %v %+v", err, resp)
+	}
+}

@@ -1,0 +1,259 @@
+// Package workload provides the open-loop load generator the experiments
+// use (the paper's mutilate-style client, §5.1): Poisson arrivals at a
+// configured rate, a bounded pool of 5-tuples (Fig. 2 uses 50), per-class
+// request mixes (GET/SCAN, GET/PUT, LS/BE tenants), and end-to-end latency
+// accounting with warmup/measure windows and drop attribution.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"syrup/internal/metrics"
+	"syrup/internal/nic"
+	"syrup/internal/policy"
+	"syrup/internal/sim"
+)
+
+// Class is one request class within the mix.
+type Class struct {
+	Name string
+	// Weight is the class's share of the total rate.
+	Weight float64
+	// Type is the request type header value (policy.ReqGET etc.).
+	Type uint64
+	// UserID tags the tenant (token policy).
+	UserID uint32
+}
+
+// Config describes one load point.
+type Config struct {
+	// Rate is offered load in requests/second across all classes.
+	Rate float64
+	// Classes defaults to 100% GET.
+	Classes []Class
+	// Flows is the 5-tuple pool size (50 in Fig. 2); arrivals pick a flow
+	// uniformly at random.
+	Flows int
+	// DstPort is the server port.
+	DstPort uint16
+	// Wire is the one-way client↔server latency (5 µs).
+	Wire sim.Time
+	// KeySpace bounds generated key hashes.
+	KeySpace int
+	// Warmup and Measure delimit the measurement window; requests sent
+	// during warmup are served but not recorded.
+	Warmup  sim.Time
+	Measure sim.Time
+	// Drain is extra time after the last send for in-flight requests to
+	// finish before unfinished ones count as dropped.
+	Drain sim.Time
+}
+
+func (c *Config) fill() {
+	if len(c.Classes) == 0 {
+		c.Classes = []Class{{Name: "GET", Weight: 1, Type: policy.ReqGET}}
+	}
+	if c.Flows == 0 {
+		c.Flows = 1024
+	}
+	if c.Wire == 0 {
+		c.Wire = 5 * sim.Microsecond
+	}
+	if c.KeySpace == 0 {
+		c.KeySpace = 10_000
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 200 * sim.Millisecond
+	}
+	if c.Measure == 0 {
+		c.Measure = 800 * sim.Millisecond
+	}
+	if c.Drain == 0 {
+		c.Drain = 300 * sim.Millisecond
+	}
+}
+
+type reqInfo struct {
+	sentAt   sim.Time
+	class    uint8
+	measured bool
+	done     bool
+}
+
+// Generator injects load into a NIC and collects results.
+type Generator struct {
+	eng *sim.Engine
+	dev *nic.NIC
+	cfg Config
+
+	cum     []float64           // cumulative class weights
+	flows   []flowID            // randomized per run: re-running with a new seed
+	reqs    []reqInfo           // redraws the 5-tuple pool, which is where Fig. 2's
+	perCls  []*metrics.RunStats // run-to-run hash-imbalance noise comes from
+	stopped bool
+}
+
+type flowID struct {
+	ip   uint32
+	port uint16
+}
+
+// New creates a generator. Call Start to begin the run, then advance the
+// engine, then Result.
+func New(eng *sim.Engine, dev *nic.NIC, cfg Config) *Generator {
+	cfg.fill()
+	g := &Generator{eng: eng, dev: dev, cfg: cfg}
+	var sum float64
+	for _, c := range cfg.Classes {
+		sum += c.Weight
+		g.cum = append(g.cum, sum)
+		g.perCls = append(g.perCls, metrics.NewRunStats())
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		// Normalize rather than reject: callers often pass raw rates.
+		for i := range g.cum {
+			g.cum[i] /= sum
+		}
+	}
+	seen := make(map[flowID]bool, cfg.Flows)
+	for len(g.flows) < cfg.Flows {
+		f := flowID{
+			ip:   0x0a000000 + eng.Rand().Uint32N(1<<16),
+			port: uint16(1024 + eng.Rand().IntN(60000)),
+		}
+		if seen[f] {
+			continue
+		}
+		seen[f] = true
+		g.flows = append(g.flows, f)
+	}
+	return g
+}
+
+// Complete is the server-side completion callback (wire latency back to
+// the client is added here).
+func (g *Generator) Complete(reqID uint64, finish sim.Time) {
+	if reqID >= uint64(len(g.reqs)) {
+		return
+	}
+	info := &g.reqs[reqID]
+	if info.done {
+		return
+	}
+	info.done = true
+	if !info.measured {
+		return
+	}
+	st := g.perCls[info.class]
+	st.Completed++
+	st.Latency.Record(int64(finish + g.cfg.Wire - info.sentAt))
+}
+
+// Start schedules the arrival process: sends begin immediately and stop
+// after Warmup+Measure.
+func (g *Generator) Start() {
+	end := g.eng.Now() + g.cfg.Warmup + g.cfg.Measure
+	measureFrom := g.eng.Now() + g.cfg.Warmup
+	var schedule func()
+	schedule = func() {
+		if g.stopped {
+			return
+		}
+		gap := sim.Time(g.eng.Rand().ExpFloat64() / g.cfg.Rate * 1e9)
+		if gap < 1 {
+			gap = 1
+		}
+		g.eng.After(gap, func() {
+			now := g.eng.Now()
+			if now >= end || g.stopped {
+				return
+			}
+			g.send(now >= measureFrom)
+			schedule()
+		})
+	}
+	schedule()
+}
+
+// Stop halts the arrival process early.
+func (g *Generator) Stop() { g.stopped = true }
+
+func (g *Generator) send(measured bool) {
+	rng := g.eng.Rand()
+	// Pick a class by weight.
+	r := rng.Float64()
+	cls := len(g.cum) - 1
+	for i, c := range g.cum {
+		if r < c {
+			cls = i
+			break
+		}
+	}
+	class := g.cfg.Classes[cls]
+
+	reqID := uint64(len(g.reqs))
+	g.reqs = append(g.reqs, reqInfo{sentAt: g.eng.Now(), class: uint8(cls), measured: measured})
+	if measured {
+		g.perCls[cls].Offered++
+	}
+
+	key := uint64(rng.Int64N(int64(g.cfg.KeySpace)))
+	keyHash := uint32(key * 2654435761 % (1 << 31))
+	payload := policy.EncodeHeader(class.Type, class.UserID, keyHash, reqID)
+
+	flow := g.flows[rng.IntN(len(g.flows))]
+	pkt := &nic.Packet{
+		ID:      reqID,
+		SrcIP:   flow.ip,
+		DstIP:   0x0a00ffff,
+		SrcPort: flow.port,
+		DstPort: g.cfg.DstPort,
+		Payload: payload,
+		SentAt:  g.eng.Now(),
+	}
+	// The packet reaches the NIC one wire delay later.
+	g.eng.After(g.cfg.Wire, func() { g.dev.Receive(pkt) })
+}
+
+// Result finalizes the run: anything sent in the measure window and still
+// unfinished counts as a drop. Call after the engine has run through
+// Warmup+Measure+Drain.
+type Result struct {
+	PerClass map[string]*metrics.RunStats
+	All      *metrics.RunStats
+}
+
+// Result computes the run's statistics.
+func (g *Generator) Result() *Result {
+	for i := range g.reqs {
+		info := &g.reqs[i]
+		if info.measured && !info.done {
+			g.perCls[info.class].Drop(metrics.DropSocketOverflow)
+		}
+	}
+	res := &Result{PerClass: make(map[string]*metrics.RunStats), All: metrics.NewRunStats()}
+	for i, c := range g.cfg.Classes {
+		st := g.perCls[i]
+		st.WindowNanos = int64(g.cfg.Measure)
+		res.PerClass[c.Name] = st
+		res.All.Merge(st)
+	}
+	res.All.WindowNanos = int64(g.cfg.Measure)
+	return res
+}
+
+// RunToCompletion drives the engine through warmup, measurement, and
+// drain, returning the finalized result. It is the one-call form used by
+// the experiment harness.
+func (g *Generator) RunToCompletion() *Result {
+	g.Start()
+	g.eng.RunUntil(g.eng.Now() + g.cfg.Warmup + g.cfg.Measure + g.cfg.Drain)
+	return g.Result()
+}
+
+// Describe summarizes the config for experiment logs.
+func (c Config) Describe() string {
+	return fmt.Sprintf("rate=%.0frps flows=%d classes=%d measure=%v",
+		c.Rate, c.Flows, len(c.Classes), c.Measure)
+}

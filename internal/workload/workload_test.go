@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"syrup/internal/nic"
+	"syrup/internal/policy"
+	"syrup/internal/sim"
+)
+
+// echoServer completes every request after a fixed service delay with
+// unbounded capacity (no queueing), for testing the generator itself.
+type echoServer struct {
+	eng     *sim.Engine
+	g       *Generator
+	service sim.Time
+	seen    int
+}
+
+func newEchoHost(t *testing.T, cfg Config, service sim.Time) (*sim.Engine, *Generator, *echoServer) {
+	t.Helper()
+	eng := sim.New(7)
+	srv := &echoServer{eng: eng, service: service}
+	dev := nic.New(eng, nic.Config{Queues: 1, RingSize: 1 << 20}, func(q int, pkt *nic.Packet) {
+		srv.seen++
+		_, _, _, reqID, ok := policy.DecodeHeader(pkt.Payload)
+		if !ok {
+			t.Fatal("generator produced malformed header")
+		}
+		eng.After(service, func() { srv.g.Complete(reqID, eng.Now()) })
+	})
+	g := New(eng, dev, cfg)
+	srv.g = g
+	return eng, g, srv
+}
+
+func TestGeneratorRateAndLatency(t *testing.T) {
+	cfg := Config{
+		Rate: 100_000, Flows: 50, DstPort: 9000,
+		Warmup: 50 * sim.Millisecond, Measure: 200 * sim.Millisecond, Drain: 50 * sim.Millisecond,
+		Wire: 5 * sim.Microsecond,
+	}
+	_, g, _ := newEchoHost(t, cfg, 10*sim.Microsecond)
+	res := g.RunToCompletion()
+	st := res.All
+	// Offered ≈ rate × measure = 20000 ± 5%.
+	if st.Offered < 19000 || st.Offered > 21000 {
+		t.Fatalf("offered = %d, want ≈20000", st.Offered)
+	}
+	if st.TotalDrops() != 0 {
+		t.Fatalf("drops = %d", st.TotalDrops())
+	}
+	if st.Completed != st.Offered {
+		t.Fatalf("completed %d of %d", st.Completed, st.Offered)
+	}
+	// Latency = wire + service + wire = 20us exactly (no queueing).
+	if p50 := st.Latency.Percentile(50); p50 < 19_000 || p50 > 21_000 {
+		t.Fatalf("p50 latency = %dns, want ≈20000", p50)
+	}
+	if got := st.ThroughputRPS(); math.Abs(got-100_000) > 6_000 {
+		t.Fatalf("throughput = %.0f", got)
+	}
+}
+
+func TestGeneratorClassMix(t *testing.T) {
+	cfg := Config{
+		Rate: 50_000, DstPort: 9000,
+		Classes: []Class{
+			{Name: "GET", Weight: 0.995, Type: policy.ReqGET},
+			{Name: "SCAN", Weight: 0.005, Type: policy.ReqSCAN, UserID: 3},
+		},
+		Warmup: 20 * sim.Millisecond, Measure: 400 * sim.Millisecond, Drain: 20 * sim.Millisecond,
+	}
+	_, g, _ := newEchoHost(t, cfg, sim.Microsecond)
+	res := g.RunToCompletion()
+	gets := res.PerClass["GET"].Offered
+	scans := res.PerClass["SCAN"].Offered
+	frac := float64(scans) / float64(gets+scans)
+	if frac < 0.003 || frac > 0.008 {
+		t.Fatalf("scan fraction = %.4f, want ≈0.005", frac)
+	}
+}
+
+func TestGeneratorCountsUnansweredAsDrops(t *testing.T) {
+	eng := sim.New(1)
+	// A NIC that answers only even request ids.
+	var g *Generator
+	dev := nic.New(eng, nic.Config{Queues: 1, RingSize: 1 << 20}, func(q int, pkt *nic.Packet) {
+		_, _, _, reqID, _ := policy.DecodeHeader(pkt.Payload)
+		if reqID%2 == 0 {
+			g.Complete(reqID, eng.Now())
+		}
+	})
+	g = New(eng, dev, Config{
+		Rate: 10_000, DstPort: 9000,
+		Warmup: 10 * sim.Millisecond, Measure: 100 * sim.Millisecond, Drain: 10 * sim.Millisecond,
+	})
+	res := g.RunToCompletion()
+	st := res.All
+	if st.TotalDrops() == 0 {
+		t.Fatal("unanswered requests not counted as drops")
+	}
+	ratio := st.DropFraction()
+	if ratio < 0.4 || ratio > 0.6 {
+		t.Fatalf("drop fraction = %.2f, want ≈0.5", ratio)
+	}
+}
+
+func TestGeneratorFlowPoolBounded(t *testing.T) {
+	eng := sim.New(1)
+	flows := map[uint32]bool{}
+	var g *Generator
+	dev := nic.New(eng, nic.Config{Queues: 1, RingSize: 1 << 20}, func(q int, pkt *nic.Packet) {
+		flows[uint32(pkt.SrcIP)<<16|uint32(pkt.SrcPort)] = true
+		_, _, _, reqID, _ := policy.DecodeHeader(pkt.Payload)
+		g.Complete(reqID, eng.Now())
+	})
+	g = New(eng, dev, Config{
+		Rate: 100_000, Flows: 50, DstPort: 9000,
+		Warmup: 5 * sim.Millisecond, Measure: 50 * sim.Millisecond, Drain: 5 * sim.Millisecond,
+	})
+	g.RunToCompletion()
+	if len(flows) != 50 {
+		t.Fatalf("distinct flows = %d, want 50", len(flows))
+	}
+}
+
+func TestGeneratorWarmupNotMeasured(t *testing.T) {
+	cfg := Config{
+		Rate: 10_000, DstPort: 9000,
+		Warmup: 100 * sim.Millisecond, Measure: 100 * sim.Millisecond, Drain: 10 * sim.Millisecond,
+	}
+	_, g, srv := newEchoHost(t, cfg, sim.Microsecond)
+	res := g.RunToCompletion()
+	// The server saw roughly twice as many requests as were measured.
+	if srv.seen < int(res.All.Offered)*3/2 {
+		t.Fatalf("server saw %d, measured %d — warmup traffic missing", srv.seen, res.All.Offered)
+	}
+}
+
+func TestGeneratorStop(t *testing.T) {
+	cfg := Config{Rate: 10_000, DstPort: 9000,
+		Warmup: 10 * sim.Millisecond, Measure: sim.Second, Drain: sim.Millisecond}
+	eng, g, srv := newEchoHost(t, cfg, sim.Microsecond)
+	g.Start()
+	eng.RunUntil(20 * sim.Millisecond)
+	g.Stop()
+	seenAtStop := srv.seen
+	eng.RunUntil(100 * sim.Millisecond)
+	if srv.seen > seenAtStop+2 {
+		t.Fatalf("generator kept sending after Stop: %d → %d", seenAtStop, srv.seen)
+	}
+}
+
+func TestCompleteIsIdempotentAndBoundsChecked(t *testing.T) {
+	cfg := Config{Rate: 1000, DstPort: 9000, Warmup: sim.Millisecond, Measure: 10 * sim.Millisecond, Drain: sim.Millisecond}
+	_, g, _ := newEchoHost(t, cfg, sim.Microsecond)
+	g.Complete(999999, 0) // before any send: must not panic
+	res := g.RunToCompletion()
+	c := res.All.Completed
+	g.Complete(0, 0) // double-complete
+	if res.All.Completed != c {
+		t.Fatal("double completion counted twice")
+	}
+}

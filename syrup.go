@@ -1,0 +1,260 @@
+// Package syrup is the public API of the Syrup reproduction: user-defined
+// scheduling across the stack (SOSP 2021). It mirrors the paper's Table-1
+// API — deploy a policy file to a hook, then talk to it through Maps —
+// on top of a deterministic simulated end-host (NIC, kernel network stack,
+// CPUs, CFS, ghOSt).
+//
+// A minimal session looks like:
+//
+//	host := syrup.NewHost(syrup.HostConfig{NumCPUs: 6, NICQueues: 6})
+//	app, _ := host.RegisterApp(1, 1000, 9000)
+//	sock, idx := app.NewUDPSocket(9000, "worker-0")
+//	_, _ = app.DeployPolicy(policySource, syrup.HookSocketSelect, nil)
+//	m, _ := app.MapOpen("/syrup/1/rr_state")
+//	v, _ := m.LookupElem(0)
+//
+// See the examples directory for complete programs, and internal/experiments
+// for the harness that regenerates every figure and table in the paper.
+package syrup
+
+import (
+	"os"
+
+	"syrup/internal/ebpf"
+	"syrup/internal/ghost"
+	"syrup/internal/kernel"
+	"syrup/internal/netstack"
+	"syrup/internal/nic"
+	"syrup/internal/policy"
+	"syrup/internal/sim"
+	"syrup/internal/syrupd"
+)
+
+// Hook identifies a deployment point across the stack (paper Fig. 4).
+type Hook = syrupd.Hook
+
+// The supported hooks.
+const (
+	HookSocketSelect = syrupd.HookSocketSelect
+	HookCPURedirect  = syrupd.HookCPURedirect
+	HookXDPDrv       = syrupd.HookXDPDrv
+	HookXDPSkb       = syrupd.HookXDPSkb
+	HookXDPOffload   = syrupd.HookXDPOffload
+	HookThreadSched  = syrupd.HookThreadSched
+)
+
+// Time is a virtual-time instant/duration in nanoseconds.
+type Time = sim.Time
+
+// Common durations.
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Verdict sentinels a schedule() program may return instead of an executor
+// index.
+const (
+	PASS = ebpf.VerdictPass
+	DROP = ebpf.VerdictDrop
+)
+
+// HostConfig configures a simulated end-host.
+type HostConfig struct {
+	// Seed drives all simulated randomness; runs with equal seeds are
+	// bit-identical. Zero means seed 1.
+	Seed uint64
+	// NumCPUs is the application core count (0 = no thread scheduler).
+	NumCPUs int
+	// NICQueues is the RX queue count (0 = 1).
+	NICQueues int
+	// NIC, Stack, and Kernel override low-level cost models; zero values
+	// take the calibrated defaults.
+	NIC    nic.Config
+	Stack  netstack.Config
+	Kernel kernel.Config
+}
+
+// Host is a simulated end-host running syrupd.
+type Host struct {
+	Eng     *sim.Engine
+	Machine *kernel.Machine // nil when NumCPUs == 0
+	NIC     *nic.NIC
+	Stack   *netstack.Stack
+	Daemon  *syrupd.Daemon
+}
+
+// NewHost builds a host: NIC wired to the kernel network stack, CPUs under
+// CFS, and a syrupd instance managing it all.
+func NewHost(cfg HostConfig) *Host {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	eng := sim.New(cfg.Seed)
+	nicCfg := cfg.NIC
+	if nicCfg.Queues == 0 {
+		nicCfg.Queues = cfg.NICQueues
+	}
+	if nicCfg.Queues == 0 {
+		nicCfg.Queues = 1
+	}
+	dev, stack := netstack.Wire(eng, nicCfg, cfg.Stack)
+	var machine *kernel.Machine
+	if cfg.NumCPUs > 0 {
+		kcfg := cfg.Kernel
+		kcfg.NumCPUs = cfg.NumCPUs
+		machine = kernel.New(eng, kcfg)
+	}
+	return &Host{
+		Eng:     eng,
+		Machine: machine,
+		NIC:     dev,
+		Stack:   stack,
+		Daemon:  syrupd.New(eng, dev, stack, machine),
+	}
+}
+
+// Run advances virtual time until the event queue drains.
+func (h *Host) Run() { h.Eng.Run() }
+
+// RunFor advances virtual time by d.
+func (h *Host) RunFor(d Time) { h.Eng.RunUntil(h.Eng.Now() + d) }
+
+// Now reports the current virtual time.
+func (h *Host) Now() Time { return h.Eng.Now() }
+
+// App is an application's handle onto syrupd: the subject of the paper's
+// Table-1 API.
+type App struct {
+	host *Host
+	id   uint32
+	uid  uint32
+}
+
+// RegisterApp introduces an application (tenant) to syrupd, claiming its
+// UDP ports. Ports are the isolation boundary: policies deployed by this
+// app only ever see traffic for these ports.
+func (h *Host) RegisterApp(id, uid uint32, ports ...uint16) (*App, error) {
+	if _, err := h.Daemon.RegisterApp(id, uid, ports...); err != nil {
+		return nil, err
+	}
+	return &App{host: h, id: id, uid: uid}, nil
+}
+
+// ID returns the application id.
+func (a *App) ID() uint32 { return a.id }
+
+// Deployment describes a deployed policy.
+type Deployment struct {
+	// Program is the verified program now running at the hook.
+	Program *ebpf.Program
+	// Maps are the policy's named maps, shared with earlier deployments.
+	Maps map[string]*ebpf.Map
+	// SourceLines is the policy file's LoC (the paper's Table-2 metric).
+	SourceLines int
+}
+
+// DeployPolicy is syr_deploy_policy: compile the .syr source, verify it,
+// and install it at hook. defines inject deploy-time constants (e.g.
+// NUM_THREADS), overriding the file's .const defaults.
+func (a *App) DeployPolicy(source string, hook Hook, defines map[string]int64) (*Deployment, error) {
+	res, err := a.host.Daemon.DeployPolicy(a.id, hook, source, defines)
+	if err != nil {
+		return nil, err
+	}
+	return &Deployment{Program: res.Program, Maps: res.Maps, SourceLines: res.SourceLines}, nil
+}
+
+// DeployPolicyFile reads a .syr file from disk and deploys it.
+func (a *App) DeployPolicyFile(path string, hook Hook, defines map[string]int64) (*Deployment, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return a.DeployPolicy(string(b), hook, defines)
+}
+
+// DeployBuiltin deploys one of the library policies by name (see
+// BuiltinPolicies).
+func (a *App) DeployBuiltin(name string, hook Hook, defines map[string]int64) (*Deployment, error) {
+	res, err := a.host.Daemon.DeployBuiltin(a.id, hook, name, defines)
+	if err != nil {
+		return nil, err
+	}
+	return &Deployment{Program: res.Program, Maps: res.Maps, SourceLines: res.SourceLines}, nil
+}
+
+// DeployThreadPolicy installs a userspace thread-scheduling policy via the
+// ghOSt hook: the agent takes over agentCPU, and the app's registered
+// threads run on workers under pol's control.
+func (a *App) DeployThreadPolicy(pol ghost.Policy, agentCPU int, workers []int, cfg ghost.Config) (*ghost.Agent, error) {
+	ws := make([]kernel.CPUID, len(workers))
+	for i, w := range workers {
+		ws[i] = kernel.CPUID(w)
+	}
+	return a.host.Daemon.DeployThreadPolicy(a.id, pol, kernel.CPUID(agentCPU), ws, cfg)
+}
+
+// NewUDPSocket binds a reuseport socket on one of the app's ports and
+// registers it in the port's executor table, returning its index (the
+// value a Socket Select policy returns to pick it).
+func (a *App) NewUDPSocket(port uint16, label string) (*netstack.Socket, int) {
+	return a.host.Stack.NewUDPSocket(port, a.id, label)
+}
+
+// RegisterXSK registers an AF_XDP socket in the app's executor table for
+// an RX queue and returns its index.
+func (a *App) RegisterXSK(port uint16, queue int, capacity int, label string) (*netstack.Socket, int) {
+	sock := netstack.NewSocket(port, a.id, capacity, label)
+	idx := a.host.Stack.RegisterXSK(port, queue, sock)
+	return sock, idx
+}
+
+// CreateMap creates and pins a named map for this app ahead of any policy
+// deployment; later policies declaring the same name share it.
+func (a *App) CreateMap(spec ebpf.MapSpec) (*Map, error) {
+	m, err := a.host.Daemon.CreateMap(a.id, spec)
+	if err != nil {
+		return nil, err
+	}
+	return &Map{m: m}, nil
+}
+
+// MapOpen is syr_map_open: resolve a pinned map path under this app's
+// credentials.
+func (a *App) MapOpen(path string) (*Map, error) {
+	m, err := a.host.Daemon.OpenMap(path, a.uid, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Map{m: m}, nil
+}
+
+// Map is a handle to a Syrup Map (the cross-layer communication channel,
+// §3.4). The default value type is uint64, as in the paper.
+type Map struct {
+	m *ebpf.Map
+}
+
+// LookupElem is syr_map_lookup_elem for the default 32-bit-key,
+// 64-bit-value shape.
+func (m *Map) LookupElem(key uint32) (uint64, bool) { return m.m.LookupUint64(key) }
+
+// UpdateElem is syr_map_update_elem.
+func (m *Map) UpdateElem(key uint32, value uint64) error { return m.m.UpdateUint64(key, value) }
+
+// AddElem atomically adds delta (two's-complement for subtraction) to the
+// value at key.
+func (m *Map) AddElem(key uint32, delta uint64) error { return m.m.AddUint64(key, delta) }
+
+// Raw exposes the underlying map for advanced use (byte-typed access,
+// iteration, sharing with policy loads).
+func (m *Map) Raw() *ebpf.Map { return m.m }
+
+// BuiltinPolicies lists the named policies shipped with the library: the
+// paper's hash, round_robin, scan_avoid, sita, token, and mica_hash.
+func BuiltinPolicies() []string { return policy.Names() }
+
+// BuiltinSource returns a built-in policy's .syr source.
+func BuiltinSource(name string) (string, error) { return policy.Source(name) }

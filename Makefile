@@ -1,0 +1,37 @@
+GO ?= go
+
+.PHONY: build test vet race check bench bench-dispatch fuzz clean
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The eBPF package carries the JIT/interpreter equivalence tests and the
+# concurrency-sensitive run-state pool; always exercise it under the race
+# detector.
+race:
+	$(GO) test -race ./internal/ebpf/...
+
+# check is the PR gate: build, vet, race-test the VM, then the full suite.
+check: build vet race test
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Interpreter-vs-compiled dispatch margin (see DESIGN.md "JIT & run-state
+# pooling"): the map-heavy shape must hold >=2x and 0 allocs/op compiled.
+bench-dispatch:
+	$(GO) test ./internal/ebpf/ -run '^$$' -bench BenchmarkDispatch -benchmem
+
+# Extended differential fuzzing of the compiled dispatch path against the
+# interpreter oracle (the seed corpus already runs under plain `go test`).
+fuzz:
+	$(GO) test ./internal/ebpf/ -run '^$$' -fuzz FuzzJITMatchesInterp -fuzztime 30s
+
+clean:
+	$(GO) clean ./...

@@ -146,6 +146,10 @@ func main() {
 		select {
 		case <-sigc:
 			log.Printf("syrupd: shutting down at virtual %v", host.Now())
+			counters := metrics.Counters()
+			for _, name := range metrics.CounterNames() {
+				log.Printf("syrupd: counter %s=%d", name, counters[name])
+			}
 			return
 		case <-ticker.C:
 			server.Lock()

@@ -67,6 +67,109 @@ pass:
 	}
 }
 
+// dispatchPrograms builds the three benchmark shapes — short filter,
+// map-heavy policy, tail-call chain — with fresh maps, loaded either
+// compiled (default) or interpreted (NoJIT).
+func dispatchPrograms(b *testing.B, nojit bool) map[string]*Program {
+	b.Helper()
+	opts := func(t *MapTable) LoadOptions { return LoadOptions{MapTable: t, NoJIT: nojit} }
+	load := func(name string, insns []Instruction, t *MapTable) *Program {
+		p, err := Load(name, insns, opts(t))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return p
+	}
+
+	short := load("bd_short", []Instruction{
+		Ldx(4, R0, R1, CtxOffHash),
+		ALUImm(ALUAnd, R0, 3),
+		Exit(),
+	}, nil)
+
+	arr := MustNewMap(MapSpec{Name: "bd_state", Type: MapArray, KeySize: 4, ValueSize: 8, MaxEntries: 8})
+	table := NewMapTable()
+	arrFD := table.Register(arr)
+	mapInsns := []Instruction{StImm(4, R10, -4, 0)}
+	mapInsns = append(mapInsns, LoadMapFD(R1, arrFD)...)
+	mapInsns = append(mapInsns,
+		MovReg(R2, R10),
+		ALUImm(ALUAdd, R2, -4),
+		Call(HelperMapLookup),
+		JmpImm(JmpEq, R0, 0, 5),
+		Ldx(8, R6, R0, 0),
+		ALUImm(ALUAdd, R6, 1),
+		Stx(8, R0, R6, 0),
+		MovReg(R0, R6),
+		ALUImm(ALUMod, R0, 6),
+		Exit(),
+	)
+	mapHeavy := load("bd_map", mapInsns, table)
+
+	progArr := MustNewMap(MapSpec{Name: "bd_chain", Type: MapProgArray, KeySize: 4, ValueSize: 4, MaxEntries: 4})
+	ptable := NewMapTable()
+	progFD := ptable.Register(progArr)
+	leaf := load("bd_leaf", []Instruction{MovImm(R0, 42), Exit()}, nil)
+	mid := load("bd_mid", append(LoadMapFD(R2, progFD),
+		MovImm(R3, 2),
+		Call(HelperTailCall),
+		MovImm(R0, 1),
+		Exit(),
+	), ptable)
+	root := load("bd_root", append(LoadMapFD(R2, progFD),
+		MovImm(R3, 1),
+		Call(HelperTailCall),
+		MovImm(R0, 0),
+		Exit(),
+	), ptable)
+	if err := progArr.UpdateProg(1, mid); err != nil {
+		b.Fatal(err)
+	}
+	if err := progArr.UpdateProg(2, leaf); err != nil {
+		b.Fatal(err)
+	}
+
+	return map[string]*Program{
+		"short_filter":   short,
+		"map_policy":     mapHeavy,
+		"tailcall_chain": root,
+	}
+}
+
+// BenchmarkDispatch compares interpreter vs. threaded-code dispatch on the
+// three canonical policy shapes. Run with -benchmem: the compiled variants
+// must report 0 allocs/op in steady state.
+func BenchmarkDispatch(b *testing.B) {
+	env := &Env{
+		Prandom: func() uint32 { return 4 },
+		Ktime:   func() uint64 { return 0 },
+	}
+	for _, kind := range []string{"short_filter", "map_policy", "tailcall_chain"} {
+		for _, mode := range []struct {
+			name  string
+			nojit bool
+		}{{"interp", true}, {"jit", false}} {
+			b.Run(kind+"/"+mode.name, func(b *testing.B) {
+				p := dispatchPrograms(b, mode.nojit)[kind]
+				ctx := &Ctx{Packet: make([]byte, 64), Hash: 0x1234}
+				// Warm the pool and dynamic-region capacity.
+				for i := 0; i < 8; i++ {
+					if _, _, err := p.Run(ctx, env); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := p.Run(ctx, env); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkInterpMapPolicy measures a map-touching policy per invocation —
 // the hot path of every simulated hook.
 func BenchmarkInterpMapPolicy(b *testing.B) {

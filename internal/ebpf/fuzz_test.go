@@ -110,6 +110,55 @@ func TestFuzzVerifierSoundness(t *testing.T) {
 	t.Logf("fuzz: %d/%d programs accepted, %d executions, no faults", accepted, trials, ran)
 }
 
+// FuzzJITMatchesInterp is the differential fuzz target from the JIT work:
+// any instruction stream that decodes must behave bit-identically under
+// the threaded-code compiler and the interpreter — same load outcome, same
+// verdict and R0, same ExecStats, same error strings, same map and packet
+// effects. The seed corpus covers the three benchmark shapes (short
+// filter, map-heavy policy, tail-call chain).
+func FuzzJITMatchesInterp(f *testing.F) {
+	f.Add(Encode([]Instruction{
+		Ldx(4, R0, R1, CtxOffHash),
+		ALUImm(ALUAnd, R0, 3),
+		Exit(),
+	}))
+	// Map-heavy counter policy against the differential world's array map
+	// (fd 3).
+	mapPolicy := []Instruction{StImm(4, R10, -4, 0)}
+	mapPolicy = append(mapPolicy, LoadMapFD(R1, 3)...)
+	mapPolicy = append(mapPolicy,
+		MovReg(R2, R10),
+		ALUImm(ALUAdd, R2, -4),
+		Call(HelperMapLookup),
+		JmpImm(JmpEq, R0, 0, 4),
+		Ldx(8, R6, R0, 0),
+		ALUImm(ALUAdd, R6, 1),
+		Stx(8, R0, R6, 0),
+		MovReg(R0, R6),
+		Exit(),
+	)
+	f.Add(Encode(mapPolicy))
+	// Tail call through the differential world's prog array (fd 5, slot 1).
+	chain := LoadMapFD(R2, 5)
+	chain = append(chain,
+		MovImm(R3, 1),
+		Call(HelperTailCall),
+		MovImm(R0, 0),
+		Exit(),
+	)
+	f.Add(Encode(chain))
+	// A rejected program: load errors must match too.
+	f.Add(Encode([]Instruction{Ldx(8, R0, R9, 0), Exit()}))
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		insns, err := Decode(raw)
+		if err != nil || len(insns) == 0 || len(insns) > 64 {
+			return
+		}
+		runDifferential(t, insns)
+	})
+}
+
 // Random bytes through the assembler must never panic.
 func TestFuzzAssemblerNoPanic(t *testing.T) {
 	rng := rand.New(rand.NewPCG(1, 2))

@@ -3,6 +3,7 @@ package ebpf
 import (
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 )
 
 // Context layout offsets, the program-visible view of a packet hook
@@ -31,6 +32,10 @@ type Env struct {
 	Ktime   func() uint64 // ktime_get_ns
 	CPUID   uint32        // get_smp_processor_id
 }
+
+// defaultEnv backs nil-Env runs on the compiled path; it is never written
+// after init, so sharing it across concurrent runs is safe.
+var defaultEnv Env
 
 // Runtime pointer encoding: 16-bit region tag | 48-bit offset. Verified
 // programs only dereference in-range pointers, so the tag bits are never
@@ -61,23 +66,50 @@ type dynRegion struct {
 	m    *Map // owner, for atomic ops
 }
 
-type execState struct {
+// runState is the mutable state of one program invocation: registers,
+// stack, dynamic map-value regions, accounting, and the ambient context.
+// The compiled dispatch path recycles runStates through a sync.Pool so
+// steady-state execution allocates nothing; the interpreter allocates a
+// fresh one per run.
+type runState struct {
 	stack   [StackSize]byte
+	regs    [NumRegs]uint64
 	regions []dynRegion
 	env     *Env
 	ctx     *Ctx
+	stats   ExecStats
+	// tail carries the target of a successful tail call out of a compiled
+	// op closure to the dispatch loop.
+	tail *Program
+	// err carries a runtime error out of a compiled op closure (paired
+	// with the opErr sentinel), keeping the hot dispatch loop's return
+	// path down to a single integer.
+	err error
+	// extra counts instructions executed beyond one per dispatch: fused
+	// superinstructions bump it so ExecStats.Insns and instret charging
+	// stay identical to the interpreter's one-insn-at-a-time accounting.
+	extra int
 }
 
-var defaultPRNGState uint32 = 0x9e3779b9
+// defaultPRNGState seeds the fallback xorshift32 PRNG. It is atomic
+// because two concurrent Run calls with a nil Env.Prandom would otherwise
+// race on it; the CAS loop preserves the exact single-threaded sequence.
+var defaultPRNGState atomic.Uint32
+
+func init() { defaultPRNGState.Store(0x9e3779b9) }
 
 func defaultPrandom() uint32 {
 	// xorshift32; deterministic across runs, good enough as a fallback.
-	x := defaultPRNGState
-	x ^= x << 13
-	x ^= x >> 17
-	x ^= x << 5
-	defaultPRNGState = x
-	return x
+	for {
+		old := defaultPRNGState.Load()
+		x := old
+		x ^= x << 13
+		x ^= x >> 17
+		x ^= x << 5
+		if defaultPRNGState.CompareAndSwap(old, x) {
+			return x
+		}
+	}
 }
 
 // Run executes the program against ctx and returns R0's low 32 bits (the
@@ -94,17 +126,38 @@ func (p *Program) RunRet64(ctx *Ctx, env *Env) (uint64, ExecStats, error) {
 	return p.run(ctx, env)
 }
 
+// RunInterp forces a run through the interpreter even when a compiled form
+// exists. Differential tests use it as the oracle against runCompiled.
+func (p *Program) RunInterp(ctx *Ctx, env *Env) (uint32, ExecStats, error) {
+	ret, st, err := p.runInterp(ctx, env)
+	return uint32(ret), st, err
+}
+
 func (p *Program) run(ctx *Ctx, env *Env) (uint64, ExecStats, error) {
+	if p.code != nil {
+		return p.runCompiled(ctx, env)
+	}
+	return p.runInterp(ctx, env)
+}
+
+func (p *Program) runInterp(ctx *Ctx, env *Env) (uint64, ExecStats, error) {
+	p.interpRuns.Add(1)
+	ctrInterpRuns.Inc()
 	if env == nil {
 		env = &Env{}
 	}
-	ex := &execState{env: env, ctx: ctx}
-	var regs [NumRegs]uint64
-	regs[R1] = ptrVal(regionCtx, 0)
-	regs[R10] = ptrVal(regionStack, StackSize)
+	rs := &runState{env: env, ctx: ctx}
+	rs.regs[R1] = ptrVal(regionCtx, 0)
+	rs.regs[R10] = ptrVal(regionStack, StackSize)
+	ret, err := interpExec(p, rs)
+	return ret, rs.stats, err
+}
 
-	var stats ExecStats
-	prog := p
+// interpExec interprets starting at the first instruction of start with an
+// already-initialized runState. The compiled dispatcher also lands here
+// when a tail call targets a program loaded with NoJIT.
+func interpExec(start *Program, rs *runState) (uint64, error) {
+	prog := start
 	pc := 0
 	cur := prog // program whose instret we charge
 	charged := 0
@@ -117,43 +170,43 @@ func (p *Program) run(ctx *Ctx, env *Env) (uint64, ExecStats, error) {
 	for {
 		if pc >= len(prog.insns) {
 			flush()
-			return 0, stats, fmt.Errorf("ebpf: %s: pc %d out of range", prog.name, pc)
+			return 0, fmt.Errorf("ebpf: %s: pc %d out of range", prog.name, pc)
 		}
 		ins := prog.insns[pc]
-		stats.Insns++
+		rs.stats.Insns++
 		charged++
 		switch ins.Class() {
 		case ClassALU64:
-			if err := execALU(&regs, ins, true); err != nil {
+			if err := execALU(&rs.regs, ins, true); err != nil {
 				flush()
-				return 0, stats, err
+				return 0, err
 			}
 			pc++
 		case ClassALU:
-			if err := execALU(&regs, ins, false); err != nil {
+			if err := execALU(&rs.regs, ins, false); err != nil {
 				flush()
-				return 0, stats, err
+				return 0, err
 			}
 			pc++
 		case ClassLD: // LDDW
 			if ins.Src == PseudoMapFD {
-				regs[ins.Dst] = ptrVal(regionMapHandle, uint64(ins.Imm))
+				rs.regs[ins.Dst] = ptrVal(regionMapHandle, uint64(ins.Imm))
 			} else {
-				regs[ins.Dst] = Imm64(ins, prog.insns[pc+1])
+				rs.regs[ins.Dst] = Imm64(ins, prog.insns[pc+1])
 			}
 			pc += 2
 		case ClassLDX:
-			v, err := ex.load(&regs, ins)
+			v, err := rs.load(ins)
 			if err != nil {
 				flush()
-				return 0, stats, fmt.Errorf("ebpf: %s: insn %d: %w", prog.name, pc, err)
+				return 0, fmt.Errorf("ebpf: %s: insn %d: %w", prog.name, pc, err)
 			}
-			regs[ins.Dst] = v
+			rs.regs[ins.Dst] = v
 			pc++
 		case ClassST, ClassSTX:
-			if err := ex.store(prog, &regs, ins); err != nil {
+			if err := rs.store(ins); err != nil {
 				flush()
-				return 0, stats, fmt.Errorf("ebpf: %s: insn %d: %w", prog.name, pc, err)
+				return 0, fmt.Errorf("ebpf: %s: insn %d: %w", prog.name, pc, err)
 			}
 			pc++
 		case ClassJMP, ClassJMP32:
@@ -161,13 +214,12 @@ func (p *Program) run(ctx *Ctx, env *Env) (uint64, ExecStats, error) {
 			switch op {
 			case JmpExit:
 				flush()
-				return regs[R0], stats, nil
+				return rs.regs[R0], nil
 			case JmpCall:
-				stats.Helpers++
-				next, err := ex.call(prog, &regs, ins, &stats)
+				next, err := rs.call(prog, ins)
 				if err != nil {
 					flush()
-					return 0, stats, fmt.Errorf("ebpf: %s: insn %d: %w", prog.name, pc, err)
+					return 0, fmt.Errorf("ebpf: %s: insn %d: %w", prog.name, pc, err)
 				}
 				if next != nil {
 					// Tail call: switch programs.
@@ -181,10 +233,10 @@ func (p *Program) run(ctx *Ctx, env *Env) (uint64, ExecStats, error) {
 			case JmpA:
 				pc += 1 + int(ins.Off)
 			default:
-				a := regs[ins.Dst]
+				a := rs.regs[ins.Dst]
 				var b uint64
 				if ins.Op&SrcX != 0 {
-					b = regs[ins.Src]
+					b = rs.regs[ins.Src]
 				} else {
 					b = uint64(int64(ins.Imm))
 				}
@@ -196,7 +248,7 @@ func (p *Program) run(ctx *Ctx, env *Env) (uint64, ExecStats, error) {
 			}
 		default:
 			flush()
-			return 0, stats, fmt.Errorf("ebpf: %s: insn %d: bad class %#x", prog.name, pc, ins.Op)
+			return 0, fmt.Errorf("ebpf: %s: insn %d: bad class %#x", prog.name, pc, ins.Op)
 		}
 	}
 }
@@ -278,25 +330,25 @@ func execALU(regs *[NumRegs]uint64, ins Instruction, is64 bool) error {
 }
 
 // mem resolves a tagged pointer to a live byte slice of exactly size bytes.
-func (ex *execState) mem(ptr uint64, size int) ([]byte, *Map, error) {
+func (rs *runState) mem(ptr uint64, size int) ([]byte, *Map, error) {
 	off := int(ptrOff(ptr))
 	switch region := ptrRegion(ptr); {
 	case region == regionStack:
 		if off < 0 || off+size > StackSize {
 			return nil, nil, fmt.Errorf("stack access out of range: off %d size %d", off, size)
 		}
-		return ex.stack[off : off+size], nil, nil
+		return rs.stack[off : off+size], nil, nil
 	case region == regionPacket:
-		if off < 0 || off+size > len(ex.ctx.Packet) {
-			return nil, nil, fmt.Errorf("packet access out of range: off %d size %d len %d", off, size, len(ex.ctx.Packet))
+		if off < 0 || off+size > len(rs.ctx.Packet) {
+			return nil, nil, fmt.Errorf("packet access out of range: off %d size %d len %d", off, size, len(rs.ctx.Packet))
 		}
-		return ex.ctx.Packet[off : off+size], nil, nil
+		return rs.ctx.Packet[off : off+size], nil, nil
 	case region >= regionDynBase:
 		idx := int(region - regionDynBase)
-		if idx >= len(ex.regions) {
+		if idx >= len(rs.regions) {
 			return nil, nil, fmt.Errorf("bad dynamic region %d", idx)
 		}
-		r := ex.regions[idx]
+		r := rs.regions[idx]
 		if off < 0 || off+size > len(r.data) {
 			return nil, nil, fmt.Errorf("map value access out of range: off %d size %d len %d", off, size, len(r.data))
 		}
@@ -331,42 +383,42 @@ func storeSized(b []byte, size int, v uint64) {
 	}
 }
 
-func (ex *execState) load(regs *[NumRegs]uint64, ins Instruction) (uint64, error) {
-	base := regs[ins.Src]
+func (rs *runState) load(ins Instruction) (uint64, error) {
+	base := rs.regs[ins.Src]
 	size := ins.LoadSize()
 	if ptrRegion(base) == regionCtx {
 		switch int64(ptrOff(base)) + int64(ins.Off) {
 		case CtxOffData:
 			return ptrVal(regionPacket, 0), nil
 		case CtxOffDataEnd:
-			return ptrVal(regionPacket, uint64(len(ex.ctx.Packet))), nil
+			return ptrVal(regionPacket, uint64(len(rs.ctx.Packet))), nil
 		case CtxOffHash:
-			return uint64(ex.ctx.Hash), nil
+			return uint64(rs.ctx.Hash), nil
 		case CtxOffPort:
-			return uint64(ex.ctx.Port), nil
+			return uint64(rs.ctx.Port), nil
 		case CtxOffQueue:
-			return uint64(ex.ctx.Queue), nil
+			return uint64(rs.ctx.Queue), nil
 		default:
 			return 0, fmt.Errorf("bad ctx load at %d", int64(ptrOff(base))+int64(ins.Off))
 		}
 	}
-	b, _, err := ex.mem(base+uint64(int64(ins.Off)), size)
+	b, _, err := rs.mem(base+uint64(int64(ins.Off)), size)
 	if err != nil {
 		return 0, err
 	}
 	return loadSized(b, size), nil
 }
 
-func (ex *execState) store(p *Program, regs *[NumRegs]uint64, ins Instruction) error {
-	base := regs[ins.Dst]
+func (rs *runState) store(ins Instruction) error {
+	base := rs.regs[ins.Dst]
 	size := ins.LoadSize()
-	b, owner, err := ex.mem(base+uint64(int64(ins.Off)), size)
+	b, owner, err := rs.mem(base+uint64(int64(ins.Off)), size)
 	if err != nil {
 		return err
 	}
 	var v uint64
 	if ins.Class() == ClassSTX {
-		v = regs[ins.Src]
+		v = rs.regs[ins.Src]
 	} else {
 		v = uint64(int64(ins.Imm))
 	}
@@ -386,8 +438,11 @@ func (ex *execState) store(p *Program, regs *[NumRegs]uint64, ins Instruction) e
 }
 
 // call executes a helper. A non-nil returned program means a successful
-// tail call into that program.
-func (ex *execState) call(p *Program, regs *[NumRegs]uint64, ins Instruction, stats *ExecStats) (*Program, error) {
+// tail call into that program. Both the interpreter and the compiled op
+// closures land here, so helper accounting lives inside.
+func (rs *runState) call(p *Program, ins Instruction) (*Program, error) {
+	rs.stats.Helpers++
+	regs := &rs.regs
 	clobber := func(ret uint64) {
 		regs[R0] = ret
 		for r := R1; r <= R5; r++ {
@@ -406,7 +461,7 @@ func (ex *execState) call(p *Program, regs *[NumRegs]uint64, ins Instruction, st
 		return p.maps[idx], nil
 	}
 	keyArg := func(r int, m *Map) ([]byte, error) {
-		b, _, err := ex.mem(regs[r], int(m.spec.KeySize))
+		b, _, err := rs.mem(regs[r], int(m.spec.KeySize))
 		return b, err
 	}
 
@@ -420,16 +475,16 @@ func (ex *execState) call(p *Program, regs *[NumRegs]uint64, ins Instruction, st
 		if err != nil {
 			return nil, err
 		}
-		ref := m.lookupRef(key, ex.env.CPUID)
+		ref := m.lookupRef(key, rs.env.CPUID)
 		if ref == nil {
 			clobber(0)
 			return nil, nil
 		}
-		if len(ex.regions) >= (1<<16)-regionDynBase {
+		if len(rs.regions) >= (1<<16)-regionDynBase {
 			return nil, fmt.Errorf("too many map value regions")
 		}
-		ex.regions = append(ex.regions, dynRegion{data: ref, m: m})
-		clobber(ptrVal(regionDynBase+uint64(len(ex.regions)-1), 0))
+		rs.regions = append(rs.regions, dynRegion{data: ref, m: m})
+		clobber(ptrVal(regionDynBase+uint64(len(rs.regions)-1), 0))
 		return nil, nil
 	case HelperMapUpdate:
 		m, err := mapArg(R1)
@@ -440,7 +495,7 @@ func (ex *execState) call(p *Program, regs *[NumRegs]uint64, ins Instruction, st
 		if err != nil {
 			return nil, err
 		}
-		val, _, err := ex.mem(regs[R3], int(m.spec.ValueSize))
+		val, _, err := rs.mem(regs[R3], int(m.spec.ValueSize))
 		if err != nil {
 			return nil, err
 		}
@@ -467,22 +522,22 @@ func (ex *execState) call(p *Program, regs *[NumRegs]uint64, ins Instruction, st
 		return nil, nil
 	case HelperKtimeGetNS:
 		var t uint64
-		if ex.env.Ktime != nil {
-			t = ex.env.Ktime()
+		if rs.env.Ktime != nil {
+			t = rs.env.Ktime()
 		}
 		clobber(t)
 		return nil, nil
 	case HelperPrandomU32:
 		var r uint32
-		if ex.env.Prandom != nil {
-			r = ex.env.Prandom()
+		if rs.env.Prandom != nil {
+			r = rs.env.Prandom()
 		} else {
 			r = defaultPrandom()
 		}
 		clobber(uint64(r))
 		return nil, nil
 	case HelperGetSmpProcID:
-		clobber(uint64(ex.env.CPUID))
+		clobber(uint64(rs.env.CPUID))
 		return nil, nil
 	case HelperTailCall:
 		m, err := mapArg(R2)
@@ -496,11 +551,11 @@ func (ex *execState) call(p *Program, regs *[NumRegs]uint64, ins Instruction, st
 			clobber(uint64(0xffffffffffffffff))
 			return nil, nil
 		}
-		if stats.TailCalls >= MaxTailCalls {
+		if rs.stats.TailCalls >= MaxTailCalls {
 			clobber(uint64(0xffffffffffffffff))
 			return nil, nil
 		}
-		stats.TailCalls++
+		rs.stats.TailCalls++
 		// r1 keeps pointing at the ctx for the next program.
 		regs[R1] = ptrVal(regionCtx, 0)
 		return target, nil

@@ -1,0 +1,764 @@
+package ebpf
+
+// Threaded-code compilation of verified programs. Load translates the
+// instruction stream into a slice of pre-decoded op closures, one per
+// instruction slot: immediates, offsets, register indices, map handles,
+// and jump targets are resolved once at load time, so the per-packet run
+// path does no opcode decoding at all. Semantics are bit-identical to the
+// interpreter (same ExecStats accounting, same instret/runs charging
+// across tail calls, same error strings) — the interpreter stays around as
+// the NoJIT fallback and as the differential-testing oracle.
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"syrup/internal/metrics"
+)
+
+// opFunc executes one pre-decoded instruction and returns the next pc, or
+// one of the sentinels below. Errors are parked in rs.err rather than
+// returned so the dispatch loop's hot path checks a single integer.
+type opFunc func(rs *runState) int
+
+// Sentinels sit far below any reachable jump target (a conditional offset
+// is an int16, so even hostile NoVerify programs cannot produce a pc near
+// these), letting the dispatcher distinguish them from a plain negative pc
+// — which must reproduce the interpreter's slice-index panic instead.
+const (
+	opExit = -1 << 30   // program returned; R0 holds the result
+	opTail = -1<<30 + 1 // successful tail call; rs.tail holds the target
+	opErr  = -1<<30 + 2 // runtime error; rs.err holds it
+)
+
+// Package-wide dispatch counters, surfaced through internal/metrics and
+// syrupd's stats op. Every compiled run performs exactly one pool get, so
+// pool hits = ebpf_compiled_runs - ebpf_runstate_pool_news.
+var (
+	ctrCompiledRuns      = metrics.NewCounter("ebpf_compiled_runs")
+	ctrInterpRuns        = metrics.NewCounter("ebpf_interp_runs")
+	ctrTailInterpFallbck = metrics.NewCounter("ebpf_jit_tailcall_interp_fallbacks")
+	ctrPoolNews          = metrics.NewCounter("ebpf_runstate_pool_news")
+)
+
+// EnvNoJIT disables compilation process-wide when set non-empty, forcing
+// every Load onto the interpreter (escape hatch for debugging).
+const EnvNoJIT = "SYRUP_EBPF_NOJIT"
+
+func jitDisabledByEnv() bool { return os.Getenv(EnvNoJIT) != "" }
+
+// runStatePool recycles run state across compiled invocations. A pooled
+// state is returned as-is and reset lazily on the next get: the 512-byte
+// stack and the registers stay dirty because the verifier rejects any read
+// of an uninitialized register or stack byte (only NoVerify loads pay for
+// a scrub on entry), and the env/ctx/region references from the last run
+// are overwritten or truncated at reuse — they point at caller-owned
+// contexts and long-lived map storage, so holding them across the gap
+// pins nothing meaningful.
+var runStatePool = sync.Pool{New: func() any {
+	ctrPoolNews.Inc()
+	return new(runState)
+}}
+
+func putRunState(rs *runState) { runStatePool.Put(rs) }
+
+// runCompiled is the fast dispatch path: a pooled runState driven through
+// the pre-decoded closure stream. Steady state performs zero heap
+// allocations (errors and interpreter fallback are cold paths).
+func (p *Program) runCompiled(ctx *Ctx, env *Env) (uint64, ExecStats, error) {
+	p.compiledRuns.Add(1)
+	ctrCompiledRuns.Inc()
+	if env == nil {
+		env = &defaultEnv
+	}
+	rs := runStatePool.Get().(*runState)
+	rs.regions = rs.regions[:0]
+	rs.stats = ExecStats{}
+	rs.extra = 0
+	if p.noVerify {
+		// Unverified programs may read state they never wrote; give them
+		// the same zeroed stack and registers the interpreter starts with.
+		rs.stack = [StackSize]byte{}
+		rs.regs = [NumRegs]uint64{}
+	}
+	rs.env = env
+	rs.ctx = ctx
+	rs.regs[R1] = ptrVal(regionCtx, 0)
+	rs.regs[R10] = ptrVal(regionStack, StackSize)
+
+	prog := p // program whose instret we charge for the current segment
+	code := p.code
+	charged := 0
+	pc := 0
+	for {
+		// The hot loop: one unsigned compare covers both bounds (negative
+		// pcs, sentinels included, wrap past len). Instruction counting
+		// stays in a register — plus rs.extra for fused superinstructions —
+		// and is folded into the stats at each flush.
+		for uint(pc) < uint(len(code)) {
+			charged++
+			pc = code[pc](rs)
+		}
+		seg := charged + rs.extra
+		rs.extra = 0
+		rs.stats.Insns += seg
+		prog.instret.Add(uint64(seg))
+		prog.runs.Add(1)
+		switch pc {
+		case opExit:
+			ret := rs.regs[R0]
+			st := rs.stats
+			putRunState(rs)
+			return ret, st, nil
+		case opTail:
+			charged = 0
+			target := rs.tail
+			rs.tail = nil
+			if target.code == nil {
+				// Tail call into a NoJIT program: continue in the
+				// interpreter with the same runState, stats, and registers.
+				ctrTailInterpFallbck.Inc()
+				target.interpRuns.Add(1)
+				ctrInterpRuns.Inc()
+				ret, err := interpExec(target, rs)
+				st := rs.stats
+				putRunState(rs)
+				return ret, st, err
+			}
+			prog = target
+			code = target.code
+			pc = 0
+		case opErr:
+			err := rs.err
+			rs.err = nil
+			st := rs.stats
+			putRunState(rs)
+			return 0, st, err
+		default:
+			if pc < 0 {
+				// NoVerify garbage jumped to a negative pc; the interpreter
+				// panics indexing the insns slice — reproduce that exactly.
+				_ = prog.insns[pc]
+			}
+			err := fmt.Errorf("ebpf: %s: pc %d out of range", prog.name, pc)
+			st := rs.stats
+			putRunState(rs)
+			return 0, st, err
+		}
+	}
+}
+
+// compile translates every instruction slot into its pre-decoded closure.
+// Every slot compiles — including the high half of an LDDW pair, which the
+// interpreter also treats as an executable (degenerate LDDW) instruction
+// when jumped into by an unverified program. A peephole pass then fuses
+// the hottest adjacent pairs (`mov reg; alu imm` address math and
+// `ldx; alu imm` load-modify) into single superinstruction closures,
+// halving dispatches on those sequences; a pair never fuses when its
+// second slot is a jump target, and stats stay exact via rs.extra. The
+// fused-over slot keeps its standalone closure — sequential flow skips it,
+// and nothing else can reach it.
+func compile(p *Program) []opFunc {
+	code := make([]opFunc, len(p.insns))
+	for i := range p.insns {
+		code[i] = p.compileInsn(i)
+	}
+	if !p.noVerify {
+		targets := jumpTargets(p.insns)
+		for i := 0; i+1 < len(p.insns); i++ {
+			if targets[i+1] {
+				continue
+			}
+			if f := p.compileFused(i, targets); f != nil {
+				code[i] = f
+			}
+		}
+	}
+	return code
+}
+
+// jumpTargets marks every slot some jump can land on. Fall-through is not
+// a jump: sequential flow into a fused pair enters at the pair's head.
+func jumpTargets(insns []Instruction) []bool {
+	t := make([]bool, len(insns)+1)
+	for i, ins := range insns {
+		cls := ins.Class()
+		if cls != ClassJMP && cls != ClassJMP32 {
+			continue
+		}
+		op := ins.Op & 0xf0
+		if op == JmpExit || op == JmpCall {
+			continue
+		}
+		if tgt := i + 1 + int(ins.Off); tgt >= 0 && tgt < len(t) {
+			t[tgt] = true
+		}
+	}
+	return t
+}
+
+// compileFused recognizes a fusable sequence starting at insn i and
+// returns a single closure executing all of it, or nil. The shapes are the
+// dominant ones in real policies: the map-key prologue
+// (`*(u32*)(r10-4) = 0; r1 = map(...)`), stack address math
+// (`r2 = r10; r2 += -4`), and counter updates
+// (`r6 = *(u64*)(r0+0); r6 += 1`).
+func (p *Program) compileFused(i int, targets []bool) opFunc {
+	a, b := p.insns[i], p.insns[i+1]
+
+	// st imm ; lddw  →  store, then materialize the 3-slot constant. Load
+	// guarantees every verified LDDW low half has its high half, so i+2 is
+	// in range; both LDDW slots must be jump-free.
+	if a.Class() == ClassST && b.IsLDDW() && i+2 < len(p.insns) && !targets[i+2] {
+		size := a.LoadSize()
+		sdst := a.Dst
+		soff := int64(a.Off)
+		sval := uint64(int64(a.Imm))
+		var v uint64
+		if b.Src == PseudoMapFD {
+			v = ptrVal(regionMapHandle, uint64(b.Imm))
+		} else {
+			v = Imm64(b, p.insns[i+2])
+		}
+		ldst := b.Dst
+		next := i + 3
+		return func(rs *runState) int {
+			m, _, err := rs.mem(rs.regs[sdst]+uint64(soff), size)
+			if err != nil {
+				rs.err = fmt.Errorf("ebpf: %s: insn %d: %w", p.name, i, err)
+				return opErr
+			}
+			storeSized(m, size, sval)
+			rs.extra++
+			rs.regs[ldst] = v
+			return next
+		}
+	}
+
+	if b.Class() != ClassALU64 || b.Op&SrcX != 0 {
+		return nil
+	}
+	op := b.Op & 0xf0
+	k := uint64(int64(b.Imm))
+	dst := b.Dst
+	next := i + 2
+
+	// mov64 dst, src ; alu64 dst, imm  →  dst = src OP imm
+	if a.Class() == ClassALU64 && a.Op == ClassALU64|ALUMov|SrcX && a.Dst == dst {
+		src := a.Src
+		switch op {
+		case ALUAdd:
+			return func(rs *runState) int {
+				rs.extra++
+				rs.regs[dst] = rs.regs[src] + k
+				return next
+			}
+		case ALUSub:
+			return func(rs *runState) int {
+				rs.extra++
+				rs.regs[dst] = rs.regs[src] - k
+				return next
+			}
+		case ALUAnd:
+			return func(rs *runState) int {
+				rs.extra++
+				rs.regs[dst] = rs.regs[src] & k
+				return next
+			}
+		case ALUOr:
+			return func(rs *runState) int {
+				rs.extra++
+				rs.regs[dst] = rs.regs[src] | k
+				return next
+			}
+		case ALUXor:
+			return func(rs *runState) int {
+				rs.extra++
+				rs.regs[dst] = rs.regs[src] ^ k
+				return next
+			}
+		case ALUMod:
+			if k == 0 { // mirrors execALU: mod-by-zero keeps dst
+				return func(rs *runState) int {
+					rs.extra++
+					rs.regs[dst] = rs.regs[src]
+					return next
+				}
+			}
+			return func(rs *runState) int {
+				rs.extra++
+				rs.regs[dst] = rs.regs[src] % k
+				return next
+			}
+		case ALULsh:
+			sh := k & 63
+			return func(rs *runState) int {
+				rs.extra++
+				rs.regs[dst] = rs.regs[src] << sh
+				return next
+			}
+		case ALURsh:
+			sh := k & 63
+			return func(rs *runState) int {
+				rs.extra++
+				rs.regs[dst] = rs.regs[src] >> sh
+				return next
+			}
+		}
+		return nil
+	}
+
+	// ldx dst, [src+off] ; alu64 dst, imm  →  load then fold in place.
+	// Restricted to add/and (counter bumps and masks); the load half can
+	// fault, in which case rs.extra is not bumped — matching the
+	// interpreter, which never reaches the second instruction.
+	if a.Class() == ClassLDX && (op == ALUAdd || op == ALUAnd) {
+		src := a.Src
+		off := int64(a.Off)
+		size := a.LoadSize()
+		if a.Dst != dst {
+			return nil
+		}
+		isAdd := op == ALUAdd
+		return func(rs *runState) int {
+			base := rs.regs[src]
+			var v uint64
+			if ptrRegion(base) == regionCtx {
+				switch int64(ptrOff(base)) + off {
+				case CtxOffData:
+					v = ptrVal(regionPacket, 0)
+				case CtxOffDataEnd:
+					v = ptrVal(regionPacket, uint64(len(rs.ctx.Packet)))
+				case CtxOffHash:
+					v = uint64(rs.ctx.Hash)
+				case CtxOffPort:
+					v = uint64(rs.ctx.Port)
+				case CtxOffQueue:
+					v = uint64(rs.ctx.Queue)
+				default:
+					rs.err = fmt.Errorf("ebpf: %s: insn %d: bad ctx load at %d", p.name, i, int64(ptrOff(base))+off)
+					return opErr
+				}
+			} else {
+				b, _, err := rs.mem(base+uint64(off), size)
+				if err != nil {
+					rs.err = fmt.Errorf("ebpf: %s: insn %d: %w", p.name, i, err)
+					return opErr
+				}
+				v = loadSized(b, size)
+			}
+			rs.extra++
+			if isAdd {
+				rs.regs[dst] = v + k
+			} else {
+				rs.regs[dst] = v & k
+			}
+			return next
+		}
+	}
+	return nil
+}
+
+func (p *Program) compileInsn(i int) opFunc {
+	ins := p.insns[i]
+	switch ins.Class() {
+	case ClassALU64:
+		return compileALU(ins, true, i+1)
+	case ClassALU:
+		return compileALU(ins, false, i+1)
+	case ClassLD:
+		return p.compileLDDW(i, ins)
+	case ClassLDX:
+		return p.compileLoad(i, ins)
+	case ClassST, ClassSTX:
+		return p.compileStore(i, ins)
+	case ClassJMP, ClassJMP32:
+		return p.compileJump(i, ins)
+	}
+	// Unreachable: Class() is Op&0x07 and all eight values are handled
+	// above. Kept for defense in depth, with the interpreter's error.
+	err := fmt.Errorf("ebpf: %s: insn %d: bad class %#x", p.name, i, ins.Op)
+	return func(rs *runState) int {
+		rs.err = err
+		return opErr
+	}
+}
+
+func (p *Program) compileLDDW(i int, ins Instruction) opFunc {
+	dst := ins.Dst
+	next := i + 2
+	if ins.Src == PseudoMapFD {
+		v := ptrVal(regionMapHandle, uint64(ins.Imm))
+		return func(rs *runState) int {
+			rs.regs[dst] = v
+			return next
+		}
+	}
+	if i+1 >= len(p.insns) {
+		// A truncated pair only slips past Load when NoVerify garbage jumps
+		// into a trailing degenerate slot; reproduce the interpreter's
+		// out-of-range panic on the insns slice.
+		return func(rs *runState) int {
+			rs.regs[dst] = Imm64(ins, p.insns[i+1])
+			return next
+		}
+	}
+	v := Imm64(ins, p.insns[i+1])
+	return func(rs *runState) int {
+		rs.regs[dst] = v
+		return next
+	}
+}
+
+// aluOps loads the operand pair with 32-bit truncation already applied for
+// 32-bit forms, mirroring execALU's prologue. Static call, so it inlines
+// into each op closure; the flag arguments are captured constants there,
+// making every branch perfectly predicted.
+func aluOps(rs *runState, dst, src uint8, k uint64, useReg, is64 bool) (uint64, uint64) {
+	d := rs.regs[dst]
+	s := k
+	if useReg {
+		s = rs.regs[src]
+	}
+	if !is64 {
+		d, s = uint64(uint32(d)), uint64(uint32(s))
+	}
+	return d, s
+}
+
+// aluFin truncates and writes back the result, mirroring execALU's
+// epilogue.
+func aluFin(rs *runState, dst uint8, r uint64, is64 bool, next int) int {
+	if !is64 {
+		r = uint64(uint32(r))
+	}
+	rs.regs[dst] = r
+	return next
+}
+
+// compileALU emits one closure per ALU op with operands and write-back
+// fully pre-decoded.
+func compileALU(ins Instruction, is64 bool, next int) opFunc {
+	op := ins.Op & 0xf0
+	dst, src := ins.Dst, ins.Src
+	useReg := ins.Op&SrcX != 0
+	k := uint64(int64(ins.Imm))
+
+	if op == ALUNeg {
+		if is64 {
+			return func(rs *runState) int {
+				rs.regs[dst] = -rs.regs[dst]
+				return next
+			}
+		}
+		return func(rs *runState) int {
+			rs.regs[dst] = uint64(uint32(-rs.regs[dst]))
+			return next
+		}
+	}
+
+	switch op {
+	case ALUMov:
+		if useReg {
+			if is64 {
+				return func(rs *runState) int {
+					rs.regs[dst] = rs.regs[src]
+					return next
+				}
+			}
+			return func(rs *runState) int {
+				rs.regs[dst] = uint64(uint32(rs.regs[src]))
+				return next
+			}
+		}
+		kk := k
+		if !is64 {
+			kk = uint64(uint32(k))
+		}
+		return func(rs *runState) int {
+			rs.regs[dst] = kk
+			return next
+		}
+	case ALUAdd:
+		return func(rs *runState) int {
+			d, s := aluOps(rs, dst, src, k, useReg, is64)
+			return aluFin(rs, dst, d+s, is64, next)
+		}
+	case ALUSub:
+		return func(rs *runState) int {
+			d, s := aluOps(rs, dst, src, k, useReg, is64)
+			return aluFin(rs, dst, d-s, is64, next)
+		}
+	case ALUMul:
+		return func(rs *runState) int {
+			d, s := aluOps(rs, dst, src, k, useReg, is64)
+			return aluFin(rs, dst, d*s, is64, next)
+		}
+	case ALUDiv:
+		return func(rs *runState) int {
+			d, s := aluOps(rs, dst, src, k, useReg, is64)
+			if s == 0 {
+				return aluFin(rs, dst, 0, is64, next)
+			}
+			return aluFin(rs, dst, d/s, is64, next)
+		}
+	case ALUMod:
+		return func(rs *runState) int {
+			d, s := aluOps(rs, dst, src, k, useReg, is64)
+			if s == 0 {
+				return aluFin(rs, dst, d, is64, next)
+			}
+			return aluFin(rs, dst, d%s, is64, next)
+		}
+	case ALUOr:
+		return func(rs *runState) int {
+			d, s := aluOps(rs, dst, src, k, useReg, is64)
+			return aluFin(rs, dst, d|s, is64, next)
+		}
+	case ALUAnd:
+		return func(rs *runState) int {
+			d, s := aluOps(rs, dst, src, k, useReg, is64)
+			return aluFin(rs, dst, d&s, is64, next)
+		}
+	case ALUXor:
+		return func(rs *runState) int {
+			d, s := aluOps(rs, dst, src, k, useReg, is64)
+			return aluFin(rs, dst, d^s, is64, next)
+		}
+	case ALULsh:
+		if is64 {
+			return func(rs *runState) int {
+				d, s := aluOps(rs, dst, src, k, useReg, true)
+				return aluFin(rs, dst, d<<(s&63), true, next)
+			}
+		}
+		return func(rs *runState) int {
+			d, s := aluOps(rs, dst, src, k, useReg, false)
+			return aluFin(rs, dst, d<<(s&31), false, next)
+		}
+	case ALURsh:
+		if is64 {
+			return func(rs *runState) int {
+				d, s := aluOps(rs, dst, src, k, useReg, true)
+				return aluFin(rs, dst, d>>(s&63), true, next)
+			}
+		}
+		return func(rs *runState) int {
+			d, s := aluOps(rs, dst, src, k, useReg, false)
+			return aluFin(rs, dst, d>>(s&31), false, next)
+		}
+	case ALUArsh:
+		if is64 {
+			return func(rs *runState) int {
+				d, s := aluOps(rs, dst, src, k, useReg, true)
+				return aluFin(rs, dst, uint64(int64(d)>>(s&63)), true, next)
+			}
+		}
+		return func(rs *runState) int {
+			d, s := aluOps(rs, dst, src, k, useReg, false)
+			return aluFin(rs, dst, uint64(uint32(int32(uint32(d))>>(s&31))), false, next)
+		}
+	}
+	// Same unwrapped error string as execALU's default arm.
+	err := fmt.Errorf("ebpf: bad alu op %#x", ins.Op)
+	return func(rs *runState) int {
+		rs.err = err
+		return opErr
+	}
+}
+
+func (p *Program) compileLoad(i int, ins Instruction) opFunc {
+	dst, src := ins.Dst, ins.Src
+	off := int64(ins.Off)
+	size := ins.LoadSize()
+	next := i + 1
+	return func(rs *runState) int {
+		base := rs.regs[src]
+		if ptrRegion(base) == regionCtx {
+			switch int64(ptrOff(base)) + off {
+			case CtxOffData:
+				rs.regs[dst] = ptrVal(regionPacket, 0)
+			case CtxOffDataEnd:
+				rs.regs[dst] = ptrVal(regionPacket, uint64(len(rs.ctx.Packet)))
+			case CtxOffHash:
+				rs.regs[dst] = uint64(rs.ctx.Hash)
+			case CtxOffPort:
+				rs.regs[dst] = uint64(rs.ctx.Port)
+			case CtxOffQueue:
+				rs.regs[dst] = uint64(rs.ctx.Queue)
+			default:
+				rs.err = fmt.Errorf("ebpf: %s: insn %d: bad ctx load at %d", p.name, i, int64(ptrOff(base))+off)
+				return opErr
+			}
+			return next
+		}
+		b, _, err := rs.mem(base+uint64(off), size)
+		if err != nil {
+			rs.err = fmt.Errorf("ebpf: %s: insn %d: %w", p.name, i, err)
+			return opErr
+		}
+		rs.regs[dst] = loadSized(b, size)
+		return next
+	}
+}
+
+func (p *Program) compileStore(i int, ins Instruction) opFunc {
+	dst, src := ins.Dst, ins.Src
+	off := int64(ins.Off)
+	size := ins.LoadSize()
+	isSTX := ins.Class() == ClassSTX
+	k := uint64(int64(ins.Imm))
+	next := i + 1
+
+	if isSTX && ins.Op&0xe0 == ModeATOMIC {
+		return func(rs *runState) int {
+			b, owner, err := rs.mem(rs.regs[dst]+uint64(off), size)
+			if err != nil {
+				rs.err = fmt.Errorf("ebpf: %s: insn %d: %w", p.name, i, err)
+				return opErr
+			}
+			v := rs.regs[src]
+			if owner != nil {
+				owner.mu.Lock()
+				storeSized(b, size, loadSized(b, size)+v)
+				owner.mu.Unlock()
+			} else {
+				storeSized(b, size, loadSized(b, size)+v)
+			}
+			return next
+		}
+	}
+	return func(rs *runState) int {
+		b, _, err := rs.mem(rs.regs[dst]+uint64(off), size)
+		if err != nil {
+			rs.err = fmt.Errorf("ebpf: %s: insn %d: %w", p.name, i, err)
+			return opErr
+		}
+		v := k
+		if isSTX {
+			v = rs.regs[src]
+		}
+		storeSized(b, size, v)
+		return next
+	}
+}
+
+// jmpOps loads the operand pair for a conditional jump; full 64-bit, as
+// jumpTaken's unsigned comparisons (and SET) use the untruncated values
+// even in JMP32 class.
+func jmpOps(rs *runState, dst, src uint8, k uint64, useReg bool) (uint64, uint64) {
+	b := k
+	if useReg {
+		b = rs.regs[src]
+	}
+	return rs.regs[dst], b
+}
+
+// jmpOpsSigned is jmpOps for the signed forms, which are the only ones
+// jumpTaken truncates to 32 bits under JMP32.
+func jmpOpsSigned(rs *runState, dst, src uint8, k uint64, useReg, is32 bool) (int64, int64) {
+	a, b := jmpOps(rs, dst, src, k, useReg)
+	if is32 {
+		return int64(int32(uint32(a))), int64(int32(uint32(b)))
+	}
+	return int64(a), int64(b)
+}
+
+func branch(taken bool, target, fall int) int {
+	if taken {
+		return target
+	}
+	return fall
+}
+
+// compileJump pre-resolves both branch targets and emits one closure per
+// jump op, replicating jumpTaken exactly.
+func (p *Program) compileJump(i int, ins Instruction) opFunc {
+	op := ins.Op & 0xf0
+	dst, src := ins.Dst, ins.Src
+	useReg := ins.Op&SrcX != 0
+	is32 := ins.Class() == ClassJMP32
+	k := uint64(int64(ins.Imm))
+	target := i + 1 + int(ins.Off)
+	fall := i + 1
+
+	switch op {
+	case JmpExit:
+		return func(rs *runState) int { return opExit }
+	case JmpCall:
+		insv := ins
+		return func(rs *runState) int {
+			next, err := rs.call(p, insv)
+			if err != nil {
+				rs.err = fmt.Errorf("ebpf: %s: insn %d: %w", p.name, i, err)
+				return opErr
+			}
+			if next != nil {
+				rs.tail = next
+				return opTail
+			}
+			return fall
+		}
+	case JmpA:
+		return func(rs *runState) int { return target }
+	case JmpEq:
+		return func(rs *runState) int {
+			a, b := jmpOps(rs, dst, src, k, useReg)
+			return branch(a == b, target, fall)
+		}
+	case JmpNe:
+		return func(rs *runState) int {
+			a, b := jmpOps(rs, dst, src, k, useReg)
+			return branch(a != b, target, fall)
+		}
+	case JmpGt:
+		return func(rs *runState) int {
+			a, b := jmpOps(rs, dst, src, k, useReg)
+			return branch(a > b, target, fall)
+		}
+	case JmpGe:
+		return func(rs *runState) int {
+			a, b := jmpOps(rs, dst, src, k, useReg)
+			return branch(a >= b, target, fall)
+		}
+	case JmpLt:
+		return func(rs *runState) int {
+			a, b := jmpOps(rs, dst, src, k, useReg)
+			return branch(a < b, target, fall)
+		}
+	case JmpLe:
+		return func(rs *runState) int {
+			a, b := jmpOps(rs, dst, src, k, useReg)
+			return branch(a <= b, target, fall)
+		}
+	case JmpSet:
+		return func(rs *runState) int {
+			a, b := jmpOps(rs, dst, src, k, useReg)
+			return branch(a&b != 0, target, fall)
+		}
+	case JmpSGt:
+		return func(rs *runState) int {
+			a, b := jmpOpsSigned(rs, dst, src, k, useReg, is32)
+			return branch(a > b, target, fall)
+		}
+	case JmpSGe:
+		return func(rs *runState) int {
+			a, b := jmpOpsSigned(rs, dst, src, k, useReg, is32)
+			return branch(a >= b, target, fall)
+		}
+	case JmpSLt:
+		return func(rs *runState) int {
+			a, b := jmpOpsSigned(rs, dst, src, k, useReg, is32)
+			return branch(a < b, target, fall)
+		}
+	case JmpSLe:
+		return func(rs *runState) int {
+			a, b := jmpOpsSigned(rs, dst, src, k, useReg, is32)
+			return branch(a <= b, target, fall)
+		}
+	}
+	// Unknown jump op: jumpTaken returns false, so the interpreter always
+	// falls through.
+	return func(rs *runState) int { return fall }
+}

@@ -1,0 +1,515 @@
+package ebpf
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"syrup/internal/metrics"
+)
+
+// Differential harness: run the same instruction stream through two
+// identically initialized "worlds" — one loaded with the threaded-code
+// compiler (the default), one with NoJIT — and require bit-identical
+// behavior: load outcome, verdicts, ExecStats, error strings, packet
+// mutations, map contents, and instret/runs charging.
+
+type diffWorld struct {
+	table   *MapTable
+	arr     *Map
+	hash    *Map
+	progArr *Map
+	leaf    *Program
+	prog    *Program
+	loadErr error
+}
+
+// buildDiffWorld registers an array map (fd 3), a hash map (fd 4), and a
+// prog array (fd 5, slot 1 populated) so generated programs can exercise
+// lookups, updates, and tail calls.
+func buildDiffWorld(insns []Instruction, nojit bool) *diffWorld {
+	w := &diffWorld{
+		arr:     MustNewMap(MapSpec{Name: "dfarr", Type: MapArray, KeySize: 4, ValueSize: 8, MaxEntries: 8}),
+		hash:    MustNewMap(MapSpec{Name: "dfhash", Type: MapHash, KeySize: 4, ValueSize: 8, MaxEntries: 16}),
+		progArr: MustNewMap(MapSpec{Name: "dfprogs", Type: MapProgArray, KeySize: 4, ValueSize: 4, MaxEntries: 4}),
+	}
+	for k := uint32(0); k < 8; k++ {
+		if err := w.arr.UpdateUint64(k, uint64(k)*7+1); err != nil {
+			panic(err)
+		}
+	}
+	if err := w.hash.UpdateUint64(3, 99); err != nil {
+		panic(err)
+	}
+	w.table = NewMapTable()
+	w.table.Register(w.arr)     // fd 3
+	w.table.Register(w.hash)    // fd 4
+	w.table.Register(w.progArr) // fd 5
+	w.leaf = MustLoad("dleaf", []Instruction{MovImm(R0, 77), Exit()}, LoadOptions{NoJIT: nojit})
+	if err := w.progArr.UpdateProg(1, w.leaf); err != nil {
+		panic(err)
+	}
+	w.prog, w.loadErr = Load("dprog", insns, LoadOptions{MapTable: w.table, Budget: 50_000, NoJIT: nojit})
+	return w
+}
+
+// diffEnv returns a deterministic Env private to one world, so helper
+// results stay in lockstep without touching the shared global PRNG.
+func diffEnv() *Env {
+	s := uint32(0x12345678)
+	return &Env{
+		Prandom: func() uint32 {
+			s ^= s << 13
+			s ^= s >> 17
+			s ^= s << 5
+			return s
+		},
+		Ktime: func() uint64 { return 1_000_000 },
+		CPUID: 2,
+	}
+}
+
+func errString(err error) string {
+	if err == nil {
+		return "<nil>"
+	}
+	return err.Error()
+}
+
+var diffPackets = [][]byte{
+	nil,
+	{},
+	{0x01},
+	make([]byte, 8),
+	make([]byte, 64),
+	make([]byte, 200),
+}
+
+// runDifferential drives both worlds through every packet and fails on the
+// first divergence. It reports whether the program loaded.
+func runDifferential(t *testing.T, insns []Instruction) bool {
+	t.Helper()
+	jit := buildDiffWorld(insns, false)
+	interp := buildDiffWorld(insns, true)
+
+	if errString(jit.loadErr) != errString(interp.loadErr) {
+		t.Fatalf("load divergence:\n jit:    %v\n interp: %v\n%s", jit.loadErr, interp.loadErr, DisassembleProgram(insns))
+	}
+	if jit.loadErr != nil {
+		return false
+	}
+	if !jit.prog.Compiled() {
+		t.Fatalf("default load did not compile")
+	}
+	if interp.prog.Compiled() {
+		t.Fatalf("NoJIT load compiled anyway")
+	}
+
+	envJ, envI := diffEnv(), diffEnv()
+	for pi, pkt := range diffPackets {
+		pktJ := append([]byte(nil), pkt...)
+		pktI := append([]byte(nil), pkt...)
+		ctxJ := &Ctx{Packet: pktJ, Hash: uint32(pi) * 0x9e37, Port: 9000 + uint32(pi), Queue: uint32(pi)}
+		ctxI := &Ctx{Packet: pktI, Hash: uint32(pi) * 0x9e37, Port: 9000 + uint32(pi), Queue: uint32(pi)}
+
+		retJ, stJ, errJ := jit.prog.RunRet64(ctxJ, envJ)
+		retI, stI, errI := interp.prog.RunRet64(ctxI, envI)
+
+		if errString(errJ) != errString(errI) {
+			t.Fatalf("pkt %d error divergence:\n jit:    %v\n interp: %v\n%s", pi, errJ, errI, jit.prog.Disassemble())
+		}
+		if errJ == nil && retJ != retI {
+			t.Fatalf("pkt %d R0 divergence: jit %#x interp %#x\n%s", pi, retJ, retI, jit.prog.Disassemble())
+		}
+		if stJ != stI {
+			t.Fatalf("pkt %d stats divergence: jit %+v interp %+v\n%s", pi, stJ, stI, jit.prog.Disassemble())
+		}
+		if !bytes.Equal(pktJ, pktI) {
+			t.Fatalf("pkt %d packet mutation divergence\n jit:    %x\n interp: %x\n%s", pi, pktJ, pktI, jit.prog.Disassemble())
+		}
+	}
+
+	// Map contents must have evolved identically.
+	for k := uint32(0); k < 8; k++ {
+		vj, okj := jit.arr.LookupUint64(k)
+		vi, oki := interp.arr.LookupUint64(k)
+		if vj != vi || okj != oki {
+			t.Fatalf("array key %d divergence: jit (%d,%v) interp (%d,%v)\n%s", k, vj, okj, vi, oki, jit.prog.Disassemble())
+		}
+	}
+	for k := uint32(0); k < 16; k++ {
+		vj, okj := jit.hash.LookupUint64(k)
+		vi, oki := interp.hash.LookupUint64(k)
+		if vj != vi || okj != oki {
+			t.Fatalf("hash key %d divergence: jit (%d,%v) interp (%d,%v)\n%s", k, vj, okj, vi, oki, jit.prog.Disassemble())
+		}
+	}
+
+	// Table 2 charging (instret/runs) must be dispatch-independent.
+	if jit.prog.Stats() != interp.prog.Stats() {
+		t.Fatalf("program charging divergence: jit %+v interp %+v\n%s", jit.prog.Stats(), interp.prog.Stats(), jit.prog.Disassemble())
+	}
+	if jit.leaf.Stats() != interp.leaf.Stats() {
+		t.Fatalf("leaf charging divergence: jit %+v interp %+v", jit.leaf.Stats(), interp.leaf.Stats())
+	}
+	return true
+}
+
+// randDiffInsn biases toward forms the base generator never emits: 32-bit
+// ALU, JMP32 comparisons, hash-map references, and tail calls.
+func randDiffInsn(rng *rand.Rand, arrFD, hashFD, progFD int32) []Instruction {
+	reg := func() uint8 { return uint8(rng.IntN(10)) }
+	imm := func() int32 { return int32(rng.IntN(256) - 64) }
+	switch rng.IntN(10) {
+	case 0:
+		ops := []uint8{ALUAdd, ALUSub, ALUMul, ALUDiv, ALUMod, ALUOr, ALUAnd, ALUXor, ALULsh, ALURsh, ALUArsh}
+		return []Instruction{ALU32Imm(ops[rng.IntN(len(ops))], reg(), imm())}
+	case 1:
+		ops := []uint8{ALUAdd, ALUSub, ALUXor, ALUAnd, ALUOr}
+		return []Instruction{ALU32Reg(ops[rng.IntN(len(ops))], reg(), reg())}
+	case 2:
+		return []Instruction{Neg(reg())}
+	case 3:
+		// Raw JMP32 conditional (no constructor exists for these).
+		ops := []uint8{JmpEq, JmpNe, JmpGt, JmpGe, JmpLt, JmpLe, JmpSGt, JmpSGe, JmpSLt, JmpSLe, JmpSet}
+		return []Instruction{{
+			Op:  ClassJMP32 | ops[rng.IntN(len(ops))] | SrcK,
+			Dst: reg(), Imm: imm(), Off: int16(rng.IntN(6)),
+		}}
+	case 4:
+		return LoadMapFD(reg(), hashFD)
+	case 5:
+		// Tail call into prog-array slot 0..3 (only slot 1 is populated).
+		return append(LoadMapFD(R2, progFD),
+			MovImm(R3, int32(rng.IntN(4))),
+			Call(HelperTailCall),
+		)
+	case 6:
+		return []Instruction{Call(HelperMapDelete)}
+	case 7:
+		return LoadImm64(reg(), rng.Uint64())
+	default:
+		return randInsn(rng, nil, arrFD)
+	}
+}
+
+// TestDifferentialCompiledVsInterp is the deterministic core of the
+// differential fuzz satellite: thousands of random programs through both
+// dispatch paths.
+func TestDifferentialCompiledVsInterp(t *testing.T) {
+	rng := rand.New(rand.NewPCG(0xc0ffee, 0xd15ea5e))
+	const trials = 4000
+	accepted := 0
+	for trial := 0; trial < trials; trial++ {
+		n := 2 + rng.IntN(24)
+		var insns []Instruction
+		for len(insns) < n {
+			insns = append(insns, randDiffInsn(rng, 3, 4, 5)...)
+		}
+		insns = append(insns, MovImm(R0, 0), Exit())
+		if runDifferential(t, insns) {
+			accepted++
+		}
+	}
+	if accepted == 0 {
+		t.Fatal("differential fuzzer never produced an accepted program")
+	}
+	t.Logf("differential: %d/%d programs accepted and compared", accepted, trials)
+}
+
+// TestJITTailCallChain checks compiled→compiled tail-call dispatch,
+// including stats accounting across the chain.
+func TestJITTailCallChain(t *testing.T) {
+	progArr := MustNewMap(MapSpec{Name: "chain", Type: MapProgArray, KeySize: 4, ValueSize: 4, MaxEntries: 4})
+	table := NewMapTable()
+	fd := table.Register(progArr)
+
+	leaf := MustLoad("leaf", []Instruction{MovImm(R0, 42), Exit()}, LoadOptions{})
+	mid := MustLoad("mid", append(LoadMapFD(R2, fd),
+		MovImm(R3, 2),
+		Call(HelperTailCall),
+		MovImm(R0, 1),
+		Exit(),
+	), LoadOptions{MapTable: table})
+	root := MustLoad("root", append(LoadMapFD(R2, fd),
+		MovImm(R3, 1),
+		Call(HelperTailCall),
+		MovImm(R0, 0),
+		Exit(),
+	), LoadOptions{MapTable: table})
+	if err := progArr.UpdateProg(1, mid); err != nil {
+		t.Fatal(err)
+	}
+	if err := progArr.UpdateProg(2, leaf); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := &Ctx{Packet: make([]byte, 16)}
+	ret, st, err := root.Run(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret != 42 {
+		t.Fatalf("verdict %d, want 42", ret)
+	}
+	if st.TailCalls != 2 {
+		t.Fatalf("TailCalls %d, want 2", st.TailCalls)
+	}
+	// Each chain segment charges one run to its program.
+	if root.Stats().Runs != 1 || mid.Stats().Runs != 1 || leaf.Stats().Runs != 1 {
+		t.Fatalf("runs: root %d mid %d leaf %d, want 1 each", root.Stats().Runs, mid.Stats().Runs, leaf.Stats().Runs)
+	}
+	// And against the oracle: identical verdict and stats.
+	ret2, st2, err2 := root.RunInterp(ctx, nil)
+	if err2 != nil || ret2 != ret || st2 != st {
+		t.Fatalf("oracle mismatch: ret %d vs %d, stats %+v vs %+v, err %v", ret2, ret, st2, st, err2)
+	}
+}
+
+// TestJITTailCallIntoNoJIT covers the mixed-mode fallback: a compiled
+// program tail-calling a NoJIT target finishes in the interpreter with the
+// same runState.
+func TestJITTailCallIntoNoJIT(t *testing.T) {
+	progArr := MustNewMap(MapSpec{Name: "mixed", Type: MapProgArray, KeySize: 4, ValueSize: 4, MaxEntries: 4})
+	table := NewMapTable()
+	fd := table.Register(progArr)
+
+	leaf := MustLoad("njleaf", []Instruction{
+		Ldx(4, R0, R1, CtxOffPort), // reads ctx through the carried-over R1
+		Exit(),
+	}, LoadOptions{NoJIT: true})
+	root := MustLoad("jroot", append(LoadMapFD(R2, fd),
+		MovImm(R3, 1),
+		Call(HelperTailCall),
+		MovImm(R0, 0),
+		Exit(),
+	), LoadOptions{MapTable: table})
+	if err := progArr.UpdateProg(1, leaf); err != nil {
+		t.Fatal(err)
+	}
+	if !root.Compiled() || leaf.Compiled() {
+		t.Fatalf("compilation state wrong: root %v leaf %v", root.Compiled(), leaf.Compiled())
+	}
+
+	ret, st, err := root.Run(&Ctx{Port: 7777}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret != 7777 {
+		t.Fatalf("verdict %d, want 7777", ret)
+	}
+	// root executes LDDW + MovImm + Call (3), leaf executes Ldx + Exit (2).
+	if st.TailCalls != 1 || st.Insns != 5 {
+		t.Fatalf("stats %+v, want 1 tail call, 5 insns", st)
+	}
+	if d := root.Dispatch(); d.CompiledRuns != 1 {
+		t.Fatalf("root dispatch %+v, want 1 compiled run", d)
+	}
+	if d := leaf.Dispatch(); d.InterpRuns != 1 {
+		t.Fatalf("leaf dispatch %+v, want 1 interp run", d)
+	}
+}
+
+// TestJITErrorStringsMatchInterp pins the error-context contract: the
+// compiled path must produce byte-identical error strings, pc and insn
+// numbers included.
+func TestJITErrorStringsMatchInterp(t *testing.T) {
+	cases := []struct {
+		name  string
+		insns []Instruction
+	}{
+		{"bad_mem_deref", []Instruction{
+			MovImm(R2, 0),
+			Ldx(8, R0, R2, 0),
+			Exit(),
+		}},
+		{"bad_ctx_load", []Instruction{
+			Ldx(4, R0, R1, 99),
+			Exit(),
+		}},
+		{"bad_alu_op", []Instruction{
+			{Op: ClassALU64 | 0xe0 | SrcK, Dst: R0},
+			Exit(),
+		}},
+		{"unknown_helper", []Instruction{
+			Call(999),
+			Exit(),
+		}},
+		{"pc_out_of_range", []Instruction{
+			Ja(5),
+			Exit(),
+		}},
+		{"stack_oob", []Instruction{
+			Ldx(8, R0, R10, 8),
+			Exit(),
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := MustLoad("errs", tc.insns, LoadOptions{NoVerify: true})
+			ctx := &Ctx{Packet: make([]byte, 4)}
+			_, stJ, errJ := p.Run(ctx, nil)
+			_, stI, errI := p.RunInterp(ctx, nil)
+			if errJ == nil || errI == nil {
+				t.Fatalf("expected errors, got jit %v interp %v", errJ, errI)
+			}
+			if errJ.Error() != errI.Error() {
+				t.Fatalf("error string divergence:\n jit:    %s\n interp: %s", errJ, errI)
+			}
+			if stJ != stI {
+				t.Fatalf("stats divergence: jit %+v interp %+v", stJ, stI)
+			}
+		})
+	}
+}
+
+// TestNoJITToggles covers both escape hatches.
+func TestNoJITToggles(t *testing.T) {
+	insns := []Instruction{MovImm(R0, 0), Exit()}
+	if p := MustLoad("tog", insns, LoadOptions{}); !p.Compiled() {
+		t.Fatal("default load should compile")
+	}
+	if p := MustLoad("tog", insns, LoadOptions{NoJIT: true}); p.Compiled() {
+		t.Fatal("NoJIT load must not compile")
+	}
+	t.Setenv(EnvNoJIT, "1")
+	if p := MustLoad("tog", insns, LoadOptions{}); p.Compiled() {
+		t.Fatalf("%s must disable compilation", EnvNoJIT)
+	}
+}
+
+// TestCompiledRunZeroAllocs is the pooling contract: steady-state compiled
+// execution — short filter, map-heavy policy, tail-call chain — performs
+// zero heap allocations per run.
+func TestCompiledRunZeroAllocs(t *testing.T) {
+	arr := MustNewMap(MapSpec{Name: "za", Type: MapArray, KeySize: 4, ValueSize: 8, MaxEntries: 8})
+	progArr := MustNewMap(MapSpec{Name: "zp", Type: MapProgArray, KeySize: 4, ValueSize: 4, MaxEntries: 4})
+	table := NewMapTable()
+	arrFD := table.Register(arr)
+	progFD := table.Register(progArr)
+
+	short := MustLoad("za_short", []Instruction{
+		Ldx(4, R0, R1, CtxOffHash),
+		ALUImm(ALUAnd, R0, 3),
+		Exit(),
+	}, LoadOptions{})
+
+	mapHeavy := MustLoad("za_map", append([]Instruction{StImm(4, R10, -4, 0)},
+		append(LoadMapFD(R1, arrFD),
+			MovReg(R2, R10),
+			ALUImm(ALUAdd, R2, -4),
+			Call(HelperMapLookup),
+			JmpImm(JmpEq, R0, 0, 4),
+			Ldx(8, R6, R0, 0),
+			ALUImm(ALUAdd, R6, 1),
+			Stx(8, R0, R6, 0),
+			MovReg(R0, R6),
+			Exit(),
+		)...), LoadOptions{MapTable: table})
+
+	leaf := MustLoad("za_leaf", []Instruction{MovImm(R0, 9), Exit()}, LoadOptions{})
+	chain := MustLoad("za_chain", append(LoadMapFD(R2, progFD),
+		MovImm(R3, 1),
+		Call(HelperTailCall),
+		MovImm(R0, 0),
+		Exit(),
+	), LoadOptions{MapTable: table})
+	if err := progArr.UpdateProg(1, leaf); err != nil {
+		t.Fatal(err)
+	}
+
+	env := diffEnv()
+	ctx := &Ctx{Packet: make([]byte, 64), Hash: 0xabcd}
+	for _, tc := range []struct {
+		name string
+		p    *Program
+	}{
+		{"short_filter", short},
+		{"map_policy", mapHeavy},
+		{"tailcall_chain", chain},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			// Warm the pool and the map-value region slice.
+			for i := 0; i < 16; i++ {
+				if _, _, err := tc.p.Run(ctx, env); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if avg := testing.AllocsPerRun(200, func() {
+				if _, _, err := tc.p.Run(ctx, env); err != nil {
+					t.Fatal(err)
+				}
+			}); avg != 0 {
+				t.Fatalf("%s: %v allocs/op in compiled steady state, want 0", tc.name, avg)
+			}
+		})
+	}
+}
+
+// TestConcurrentNilEnvRuns exercises the defaultPrandom race fix and the
+// runState pool under the race detector.
+func TestConcurrentNilEnvRuns(t *testing.T) {
+	p := MustLoad("conc", []Instruction{
+		Call(HelperPrandomU32),
+		ALUImm(ALUAnd, R0, 0xff),
+		Exit(),
+	}, LoadOptions{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx := &Ctx{Packet: make([]byte, 8)}
+			for i := 0; i < 500; i++ {
+				if _, _, err := p.Run(ctx, nil); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, _, err := p.RunInterp(ctx, nil); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestDispatchCountersExported checks the metrics-registry surfacing the
+// syrupd stats op relies on.
+func TestDispatchCountersExported(t *testing.T) {
+	p := MustLoad("ctr", []Instruction{MovImm(R0, 0), Exit()}, LoadOptions{})
+	pi := MustLoad("ctr_nojit", []Instruction{MovImm(R0, 0), Exit()}, LoadOptions{NoJIT: true})
+
+	before := metrics.Counters()
+	ctx := &Ctx{}
+	for i := 0; i < 3; i++ {
+		if _, _, err := p.Run(ctx, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := pi.Run(ctx, nil); err != nil {
+		t.Fatal(err)
+	}
+	after := metrics.Counters()
+
+	if d := p.Dispatch(); d.CompiledRuns != 3 || d.InterpRuns != 0 {
+		t.Fatalf("compiled program dispatch %+v", d)
+	}
+	if d := pi.Dispatch(); d.CompiledRuns != 0 || d.InterpRuns != 1 {
+		t.Fatalf("NoJIT program dispatch %+v", d)
+	}
+	if got := after["ebpf_compiled_runs"] - before["ebpf_compiled_runs"]; got < 3 {
+		t.Fatalf("ebpf_compiled_runs advanced by %d, want >= 3", got)
+	}
+	if got := after["ebpf_interp_runs"] - before["ebpf_interp_runs"]; got < 1 {
+		t.Fatalf("ebpf_interp_runs advanced by %d, want >= 1", got)
+	}
+	if _, ok := after["ebpf_runstate_pool_news"]; !ok {
+		t.Fatal("ebpf_runstate_pool_news not registered")
+	}
+	if _, ok := after["ebpf_jit_tailcall_interp_fallbacks"]; !ok {
+		t.Fatal("ebpf_jit_tailcall_interp_fallbacks not registered")
+	}
+}

@@ -26,9 +26,22 @@ type Program struct {
 	// loading, those instructions' Imm fields index this slice.
 	maps []*Map
 
+	// code is the threaded-code form: one pre-decoded op closure per
+	// instruction slot. nil when loaded with NoJIT (or the env toggle),
+	// in which case Run interprets insns directly.
+	code []opFunc
+	// noVerify records that verification was skipped, so the compiled
+	// dispatch path knows it must scrub the pooled run state (a verified
+	// program can never read registers or stack bytes it didn't write).
+	noVerify bool
+
 	// Accounting for Table 2.
 	runs    atomic.Uint64
 	instret atomic.Uint64
+
+	// Dispatch accounting: how invocations reached this program.
+	compiledRuns atomic.Uint64
+	interpRuns   atomic.Uint64
 }
 
 // LoadOptions configures program loading.
@@ -41,6 +54,10 @@ type LoadOptions struct {
 	// NoVerify skips verification. Only syrupd's own trusted dispatcher
 	// may use it; user policies must always be verified.
 	NoVerify bool
+	// NoJIT skips threaded-code compilation; Run then uses the
+	// interpreter. The SYRUP_EBPF_NOJIT environment variable forces this
+	// process-wide.
+	NoJIT bool
 }
 
 // Load resolves map references and verifies the program.
@@ -77,6 +94,7 @@ func Load(name string, insns []Instruction, opts LoadOptions) (*Program, error) 
 		i++ // skip the high half
 	}
 
+	p.noVerify = opts.NoVerify
 	if !opts.NoVerify {
 		budget := opts.Budget
 		if budget <= 0 {
@@ -85,6 +103,9 @@ func Load(name string, insns []Instruction, opts LoadOptions) (*Program, error) 
 		if err := verify(p, budget); err != nil {
 			return nil, fmt.Errorf("ebpf: %s: verifier: %w", name, err)
 		}
+	}
+	if !opts.NoJIT && !jitDisabledByEnv() {
+		p.code = compile(p)
 	}
 	return p, nil
 }
@@ -117,6 +138,25 @@ type Stats struct {
 // Stats returns cumulative accounting.
 func (p *Program) Stats() Stats {
 	return Stats{Runs: p.runs.Load(), InsnsExecuted: p.instret.Load()}
+}
+
+// Compiled reports whether the program has a threaded-code form.
+func (p *Program) Compiled() bool { return p.code != nil }
+
+// DispatchStats reports how invocations of this program were dispatched.
+type DispatchStats struct {
+	// CompiledRuns counts top-level entries through the threaded-code
+	// path. Tail-call hops between compiled programs stay off the hot
+	// path and are visible via Stats().Runs instead.
+	CompiledRuns uint64
+	// InterpRuns counts entries through the interpreter (NoJIT loads,
+	// RunInterp, and tail-call fallbacks from compiled programs).
+	InterpRuns uint64
+}
+
+// Dispatch returns this program's dispatch accounting.
+func (p *Program) Dispatch() DispatchStats {
+	return DispatchStats{CompiledRuns: p.compiledRuns.Load(), InterpRuns: p.interpRuns.Load()}
 }
 
 // MeanInsnsPerRun reports average executed instructions per invocation.

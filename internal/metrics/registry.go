@@ -1,0 +1,70 @@
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a named monotonically increasing counter. Counters register
+// themselves in a process-wide registry so operational surfaces (syrupd's
+// stats op, shutdown summaries) can snapshot everything without each
+// subsystem threading its own plumbing.
+type Counter struct {
+	name string
+	v    atomic.Uint64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d uint64) { c.v.Add(d) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Name returns the registered name.
+func (c *Counter) Name() string { return c.name }
+
+var (
+	registryMu sync.Mutex
+	registry   = map[string]*Counter{}
+)
+
+// NewCounter returns the counter registered under name, creating it on
+// first use. Calling it twice with the same name yields the same counter,
+// so packages can declare counters in var blocks without coordination.
+func NewCounter(name string) *Counter {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if c, ok := registry[name]; ok {
+		return c
+	}
+	c := &Counter{name: name}
+	registry[name] = c
+	return c
+}
+
+// Counters snapshots every registered counter.
+func Counters() map[string]uint64 {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	out := make(map[string]uint64, len(registry))
+	for name, c := range registry {
+		out[name] = c.Load()
+	}
+	return out
+}
+
+// CounterNames lists registered counter names, sorted, for stable output.
+func CounterNames() []string {
+	registryMu.Lock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	registryMu.Unlock()
+	sort.Strings(names)
+	return names
+}

@@ -113,6 +113,10 @@ type ReuseportGroup struct {
 	lateQueue   []*nic.Packet
 	lateCap     int
 
+	// ctx is the reusable program context for Socket Select runs (the
+	// engine is single-threaded, so per-group reuse is race-free).
+	ctx ebpf.Ctx
+
 	// Stats.
 	PolicyRuns   uint64
 	PolicyDrops  uint64
@@ -218,8 +222,8 @@ func (g *ReuseportGroup) selectSocket(pkt *nic.Packet, hash uint32, env *ebpf.En
 		return defaultPick(), selected
 	}
 	g.PolicyRuns++
-	ctx := &ebpf.Ctx{Packet: pkt.Bytes(), Hash: hash, Port: uint32(pkt.DstPort), Queue: uint32(pkt.Queue)}
-	verdict, _, err := g.prog.Run(ctx, env)
+	g.ctx = ebpf.Ctx{Packet: pkt.Bytes(), Hash: hash, Port: uint32(pkt.DstPort), Queue: uint32(pkt.Queue)}
+	verdict, _, err := g.prog.Run(&g.ctx, env)
 	switch {
 	case err != nil:
 		// Verified programs cannot fault; a NoVerify program that does is

@@ -105,6 +105,11 @@ type Stack struct {
 	// MICA thread per queue).
 	xsks map[uint16][][]*Socket
 
+	// ctx is the reusable program context for the XDP and CPU Redirect
+	// hooks; the engine is single-threaded and Run is synchronous, so one
+	// scratch Ctx per stack keeps the per-packet path allocation-free.
+	ctx ebpf.Ctx
+
 	Stats Stats
 }
 
@@ -257,8 +262,8 @@ func (s *Stack) Deliver(queue int, pkt *nic.Packet) {
 func (s *Stack) afterIngress(queue int, pkt *nic.Packet) {
 	s.Stats.Processed++
 	if s.xdpMode != XDPNone {
-		ctx := &ebpf.Ctx{Packet: pkt.Bytes(), Hash: pkt.RSSHash(), Port: uint32(pkt.DstPort), Queue: uint32(queue)}
-		verdict, _, err := s.xdpProg.Run(ctx, s.envs[queue])
+		s.ctx = ebpf.Ctx{Packet: pkt.Bytes(), Hash: pkt.RSSHash(), Port: uint32(pkt.DstPort), Queue: uint32(queue)}
+		verdict, _, err := s.xdpProg.Run(&s.ctx, s.envs[queue])
 		switch {
 		case err != nil:
 			// fail-open: continue up the stack
@@ -288,8 +293,8 @@ func (s *Stack) afterIngress(queue int, pkt *nic.Packet) {
 	// CPU Redirect hook: choose the core for protocol processing.
 	protoCore := queue
 	if s.cpuRedirect != nil {
-		ctx := &ebpf.Ctx{Packet: pkt.Bytes(), Hash: pkt.RSSHash(), Port: uint32(pkt.DstPort), Queue: uint32(queue)}
-		verdict, _, err := s.cpuRedirect.Run(ctx, s.envs[queue])
+		s.ctx = ebpf.Ctx{Packet: pkt.Bytes(), Hash: pkt.RSSHash(), Port: uint32(pkt.DstPort), Queue: uint32(queue)}
+		verdict, _, err := s.cpuRedirect.Run(&s.ctx, s.envs[queue])
 		switch {
 		case err != nil || verdict == ebpf.VerdictPass:
 		case verdict == ebpf.VerdictDrop:

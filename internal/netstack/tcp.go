@@ -99,6 +99,10 @@ type TCPGroup struct {
 	conns      map[uint64]*Conn // by flow key
 	nextConnID uint64
 
+	// ctx is the reusable program context for Socket Select runs (the
+	// engine is single-threaded, so per-group reuse is race-free).
+	ctx ebpf.Ctx
+
 	// Stats.
 	Accepted    uint64
 	PolicyDrops uint64
@@ -215,8 +219,8 @@ func (g *TCPGroup) selectListener(pkt *nic.Packet, hash uint32, env *ebpf.Env) *
 	if g.prog == nil {
 		return g.listeners[hash%uint32(len(g.listeners))]
 	}
-	ctx := &ebpf.Ctx{Packet: pkt.Bytes(), Hash: hash, Port: uint32(pkt.DstPort), Queue: uint32(pkt.Queue)}
-	verdict, _, err := g.prog.Run(ctx, env)
+	g.ctx = ebpf.Ctx{Packet: pkt.Bytes(), Hash: hash, Port: uint32(pkt.DstPort), Queue: uint32(pkt.Queue)}
+	verdict, _, err := g.prog.Run(&g.ctx, env)
 	switch {
 	case err != nil, verdict == ebpf.VerdictPass:
 		return g.listeners[hash%uint32(len(g.listeners))]

@@ -131,6 +131,10 @@ type NIC struct {
 
 	offload *ebpf.Program
 	env     *ebpf.Env
+	// ctx is the reusable program context for offload runs; the engine is
+	// single-threaded and Run is synchronous, so one scratch Ctx per NIC
+	// keeps the per-packet path allocation-free.
+	ctx ebpf.Ctx
 
 	// inflight counts packets handed to the host but not yet consumed,
 	// per queue; it bounds the ring.
@@ -183,13 +187,13 @@ func (n *NIC) Receive(pkt *Packet) {
 	if n.offload != nil {
 		n.Stats.OffloadRuns++
 		extra = n.cfg.OffloadCost
-		ctx := &ebpf.Ctx{
+		n.ctx = ebpf.Ctx{
 			Packet: pkt.Bytes(),
 			Hash:   hash,
 			Port:   uint32(pkt.DstPort),
 			Queue:  uint32(queue),
 		}
-		verdict, _, err := n.offload.Run(ctx, n.env)
+		verdict, _, err := n.offload.Run(&n.ctx, n.env)
 		switch {
 		case err != nil:
 			// A verified program should never fault; treat like PASS.

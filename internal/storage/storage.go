@@ -109,6 +109,9 @@ type Device struct {
 	queues []ioQueue
 	prog   *ebpf.Program
 	env    *ebpf.Env
+	// ctx is the reusable program context for I/O scheduling runs (the
+	// engine is single-threaded, so per-device reuse is race-free).
+	ctx ebpf.Ctx
 
 	Stats Stats
 }
@@ -150,8 +153,8 @@ func (d *Device) Submit(req *Request) bool {
 	queue := int(req.LBA) % d.cfg.Queues
 
 	if d.prog != nil {
-		ctx := &ebpf.Ctx{Packet: req.header(), Hash: uint32(req.LBA), Port: uint32(req.Tenant)}
-		verdict, _, err := d.prog.Run(ctx, d.env)
+		d.ctx = ebpf.Ctx{Packet: req.header(), Hash: uint32(req.LBA), Port: uint32(req.Tenant)}
+		verdict, _, err := d.prog.Run(&d.ctx, d.env)
 		switch {
 		case err != nil:
 			// fail-open, like the network hooks

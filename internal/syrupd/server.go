@@ -7,6 +7,7 @@ import (
 	"net"
 	"sync"
 
+	"syrup/internal/metrics"
 	"syrup/internal/policy"
 )
 
@@ -181,6 +182,13 @@ func (s *Server) Handle(req *Request) Response {
 		resp := Response{OK: true, Stats: map[string]float64{}}
 		if s.StatsFunc != nil {
 			resp.Stats = s.StatsFunc()
+		}
+		// Fold in the process-wide counter registry (eBPF dispatch
+		// counters and friends) without clobbering host-supplied keys.
+		for name, v := range metrics.Counters() {
+			if _, taken := resp.Stats[name]; !taken {
+				resp.Stats[name] = float64(v)
+			}
 		}
 		return resp
 	}

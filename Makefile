@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench bench-dispatch fuzz clean
+.PHONY: build test vet race lint-hooks check bench bench-dispatch fuzz clean
 
 build:
 	$(GO) build ./...
@@ -12,13 +12,24 @@ test:
 	$(GO) test ./...
 
 # The eBPF package carries the JIT/interpreter equivalence tests and the
-# concurrency-sensitive run-state pool; always exercise it under the race
+# concurrency-sensitive run-state pool; the hook package's metrics counters
+# are the only shared state on the run path. Exercise both under the race
 # detector.
 race:
-	$(GO) test -race ./internal/ebpf/...
+	$(GO) test -race ./internal/ebpf/... ./internal/hook/...
 
-# check is the PR gate: build, vet, race-test the VM, then the full suite.
-check: build vet race test
+# Layer packages must execute policies only through hook.Point.Run (fail-open
+# semantics + per-point accounting); a direct (*ebpf.Program).Run call would
+# bypass both. See DESIGN.md "Hook points and links".
+lint-hooks:
+	@if grep -rn '\.Run(&' internal/nic internal/netstack internal/storage; then \
+		echo 'lint-hooks: layer packages must run programs via hook.Point.Run'; \
+		exit 1; \
+	fi
+
+# check is the PR gate: build, vet, lint, race-test the VM + hooks, then the
+# full suite.
+check: build vet lint-hooks race test
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -67,6 +67,11 @@ type rocksPoint struct {
 	TokenEpoch sim.Time
 	LSUser     uint32
 	BEUser     uint32
+	// SwapTo, when set, hot-swaps the socket policy mid-measure: halfway
+	// through the measurement window the named built-in policy replaces
+	// the running one through syrupd (Link.Replace under live traffic,
+	// the paper's §4.3 dynamic redeployment).
+	SwapTo SocketPolicy
 	// LateBinding switches the reuseport group to the §6.3 shared-queue
 	// model (overrides Policy's executor choice).
 	LateBinding bool
@@ -172,6 +177,11 @@ func runRocksPointFull(pt rocksPoint) (*workload.Result, *rocksdb.Server) {
 		agent.Start(host.Eng)
 	default:
 		mustDeploy(app, string(pt.Policy), defines)
+	}
+	if pt.SwapTo != "" {
+		host.Eng.At(pt.Windows.Warmup+pt.Windows.Measure/2, func() {
+			mustDeploy(app, string(pt.SwapTo), defines)
+		})
 	}
 
 	// Thread-scheduling policy via the ghOSt hook: GET-priority reading

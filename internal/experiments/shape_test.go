@@ -54,6 +54,21 @@ func TestShapeFig2RoundRobinBeatsVanilla(t *testing.T) {
 	}
 }
 
+// Live policy upgrade (§4.3): swapping the socket policy halfway through
+// the measurement window loses no requests and keeps the tail healthy —
+// the experiment-level view of Link.Replace under traffic.
+func TestShapeHotSwapMidMeasure(t *testing.T) {
+	pt := fig2Point(PolicyRoundRobin, 100_000, 5)
+	pt.SwapTo = PolicyScanAvoid
+	p99, drop := rocksP99(t, pt)
+	if drop > 0.001 {
+		t.Fatalf("hot swap dropped %.4f of requests", drop)
+	}
+	if p99 > 300 {
+		t.Fatalf("hot swap p99 = %.0fus", p99)
+	}
+}
+
 // Fig. 2 companion: at low load both policies are healthy.
 func TestShapeFig2LowLoadHealthy(t *testing.T) {
 	for _, pol := range []SocketPolicy{PolicyVanilla, PolicyRoundRobin} {

@@ -15,6 +15,7 @@ package ghost
 import (
 	"fmt"
 
+	"syrup/internal/hook"
 	"syrup/internal/kernel"
 	"syrup/internal/sim"
 )
@@ -112,11 +113,16 @@ func (c *Config) fill() {
 // dedicated core plus the kernel-side scheduling class for that
 // application's threads.
 type Agent struct {
-	m      *kernel.Machine
-	eng    *sim.Engine
-	app    uint32
-	policy Policy
-	cfg    Config
+	m   *kernel.Machine
+	eng *sim.Engine
+	app uint32
+	cfg Config
+
+	// pt is the agent's Thread Scheduler hook point. The policy lives
+	// there as a userspace attachment, so lifecycle (replace a policy
+	// live, revoke it) and run accounting go through the same framework
+	// as the eBPF hooks.
+	pt *hook.Point
 
 	agentCPU kernel.CPUID
 	workers  []kernel.CPUID
@@ -138,10 +144,16 @@ type Agent struct {
 func NewAgent(m *kernel.Machine, app uint32, policy Policy, agentCPU kernel.CPUID, workers []kernel.CPUID, cfg Config) *Agent {
 	cfg.fill()
 	a := &Agent{
-		m: m, eng: m.Eng, app: app, policy: policy, cfg: cfg,
+		m: m, eng: m.Eng, app: app, cfg: cfg,
 		agentCPU: agentCPU, workers: workers,
 		threads:  make(map[*kernel.Thread]bool),
 		runnable: make(map[*kernel.Thread]bool),
+		pt:       hook.NewPoint(hook.ThreadSched, fmt.Sprintf("thread_sched:app%d", app), nil),
+	}
+	if policy != nil {
+		if _, err := a.pt.AttachUser(policy, fmt.Sprintf("app%d-policy", app)); err != nil {
+			panic(err) // unreachable: the point was just created empty
+		}
 	}
 	m.CPU(agentCPU).Reserve(fmt.Sprintf("ghost-agent-app%d", app))
 	for _, w := range workers {
@@ -221,6 +233,12 @@ func (a *Agent) invokePolicy() {
 	if len(a.runnable) == 0 {
 		return
 	}
+	policy, _ := a.pt.UserPayload().(Policy)
+	if policy == nil {
+		// Revoked (or never installed): threads stay runnable until a new
+		// policy attaches; the enclave idles, as when a ghOSt agent dies.
+		return
+	}
 	runnable := make([]*kernel.Thread, 0, len(a.runnable))
 	// Stable order: by thread ID, for determinism.
 	for t := range a.runnable {
@@ -231,7 +249,8 @@ func (a *Agent) invokePolicy() {
 	for i, id := range a.workers {
 		cpus[i] = CPUView{ID: id, Curr: a.m.CPU(id).Curr()}
 	}
-	placements := a.policy.Schedule(a.eng.Now(), runnable, cpus)
+	a.pt.UserRun()
+	placements := policy.Schedule(a.eng.Now(), runnable, cpus)
 	var commitDelay sim.Time
 	for _, pl := range placements {
 		pl := pl
@@ -297,6 +316,10 @@ func (a *Agent) kickPolicy() {
 		a.maybeRun()
 	})
 }
+
+// Hook exposes the agent's Thread Scheduler hook point; syrupd replaces
+// and revokes policies through it.
+func (a *Agent) Hook() *hook.Point { return a.pt }
 
 // Runnable reports the current runnable-set size (tests/stats).
 func (a *Agent) Runnable() int { return len(a.runnable) }

@@ -1,0 +1,366 @@
+// Package hook is the unified hook-point framework every layer of the
+// stack registers into: the one matching-function abstraction (paper §3,
+// Fig. 4) deployed behind one attachment mechanism.
+//
+// A Point is a named slot at a layer (the NIC's offload engine, a
+// reuseport group's socket-select, the storage device's submit path, the
+// ghOSt agent's thread hook). It owns the installed program, a reusable
+// scratch Ctx so the per-packet path stays allocation-free, the layer's
+// default Env, and per-point run/fault/verdict counters that feed the
+// process-wide metrics registry (ebpf_hook_runs_<point>,
+// ebpf_hook_faults_<point>, and the aggregate ebpf_hook_faults).
+//
+// Attach returns a Link — an owned, detachable, atomically-replaceable
+// attachment object modeled on the kernel's bpf_link. Link.Replace swaps
+// the running program between event-loop callbacks, so a policy can be
+// upgraded live under traffic without a packet ever seeing an empty slot
+// (the paper's dynamic redeployment story, §4.3); Link.Detach empties the
+// slot so the layer falls back to its default (RSS, hash reuseport, LBA
+// striping), which is what syrupd's RevokeApp leans on to tear a tenant
+// out of every layer at once.
+//
+// Like the rest of the simulated host, a Point is driven from the
+// single-threaded event loop and is not safe for concurrent use; the
+// metrics it feeds are atomic and may be read from any goroutine.
+package hook
+
+import (
+	"fmt"
+	"strings"
+
+	"syrup/internal/ebpf"
+	"syrup/internal/metrics"
+)
+
+// Action classifies a hook run's outcome for the layer.
+type Action int
+
+// Actions.
+const (
+	// Pass means fall back to the layer default (RSS, hash select, ...).
+	Pass Action = iota
+	// Drop means discard the input.
+	Drop
+	// Steer means deliver to executor Index; the layer range-checks the
+	// index against its executor table.
+	Steer
+)
+
+// Verdict is the framework-level result of one hook invocation.
+type Verdict struct {
+	Action Action
+	// Index is the chosen executor when Action == Steer.
+	Index uint32
+	// Faulted records that the program hit a runtime error (a verifier
+	// escape or a NoVerify program misbehaving). The action is Pass —
+	// hooks fail open, as in the kernel — but the fault is counted so
+	// escapes are visible instead of silently reading as policy PASSes.
+	Faulted bool
+}
+
+// Input is one hook invocation's arguments. Env, when non-nil, overrides
+// the point's default environment (the netstack passes per-softirq-core
+// envs so get_smp_processor_id reads the right CPU).
+type Input struct {
+	Packet []byte
+	Hash   uint32
+	Port   uint32
+	Queue  uint32
+	Env    *ebpf.Env
+}
+
+// Stats is cumulative per-point (or per-link) accounting.
+type Stats struct {
+	Runs   uint64 // program (or userspace policy) invocations
+	Faults uint64 // runtime errors, counted and failed open
+	Passes uint64 // PASS verdicts (excluding faults)
+	Drops  uint64 // DROP verdicts
+	Steers uint64 // executor-index verdicts
+}
+
+// aggregate faults across every hook point, the single "are verifier
+// escapes happening anywhere" gauge.
+var faultsTotal = metrics.NewCounter("ebpf_hook_faults")
+
+// Point is one hook slot at one layer.
+type Point struct {
+	kind Kind
+	name string
+
+	prog *ebpf.Program
+	link *Link
+
+	// userspace attachment (thread hook): an opaque policy object the
+	// layer invokes itself; the framework still owns lifecycle+accounting.
+	payload any
+
+	env *ebpf.Env
+	// ctx is the reusable scratch context; Run is synchronous and the
+	// engine single-threaded, so one per point keeps runs allocation-free.
+	ctx ebpf.Ctx
+
+	stats Stats
+
+	runsCtr   *metrics.Counter
+	faultsCtr *metrics.Counter
+}
+
+// NewPoint creates a hook point. name identifies the instance (for metric
+// names and the links listing) and should be stable, e.g.
+// "socket_select:9000"; env is the layer's default environment (may be
+// nil for deterministic defaults).
+func NewPoint(kind Kind, name string, env *ebpf.Env) *Point {
+	metric := sanitize(name)
+	return &Point{
+		kind:      kind,
+		name:      name,
+		env:       env,
+		runsCtr:   metrics.NewCounter("ebpf_hook_runs_" + metric),
+		faultsCtr: metrics.NewCounter("ebpf_hook_faults_" + metric),
+	}
+}
+
+func sanitize(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		}
+		return '_'
+	}, name)
+}
+
+// Kind reports the point's hook kind.
+func (p *Point) Kind() Kind { return p.kind }
+
+// Name reports the point's instance name.
+func (p *Point) Name() string { return p.name }
+
+// Env returns the point's default environment.
+func (p *Point) Env() *ebpf.Env { return p.env }
+
+// Attached reports whether anything (program or userspace payload) is
+// installed.
+func (p *Point) Attached() bool { return p.prog != nil || p.payload != nil }
+
+// Program returns the installed program, or nil.
+func (p *Point) Program() *ebpf.Program { return p.prog }
+
+// Link returns the live attachment, or nil when the slot is empty.
+func (p *Point) Link() *Link { return p.link }
+
+// Stats returns cumulative accounting across all attachments ever
+// installed at this point.
+func (p *Point) Stats() Stats { return p.stats }
+
+// Attach installs prog and returns its Link. Attaching to an occupied
+// point fails — the owner must Replace (live upgrade) or Detach first, so
+// one tenant can never silently shadow another's program.
+func (p *Point) Attach(prog *ebpf.Program) (*Link, error) {
+	if prog == nil {
+		return nil, fmt.Errorf("hook: %s: attach nil program", p.name)
+	}
+	if p.Attached() {
+		return nil, fmt.Errorf("hook: %s: already attached (%s)", p.name, p.link.Label())
+	}
+	l := &Link{point: p, prog: prog, label: prog.Name()}
+	p.prog, p.link = prog, l
+	return l, nil
+}
+
+// AttachUser installs an opaque userspace policy (the thread hook's
+// ghOSt policy object). The layer retrieves it with UserPayload and
+// accounts invocations with UserRun; lifecycle (Detach, ReplaceUser) and
+// the links listing work exactly as for program attachments.
+func (p *Point) AttachUser(payload any, label string) (*Link, error) {
+	if payload == nil {
+		return nil, fmt.Errorf("hook: %s: attach nil payload", p.name)
+	}
+	if p.Attached() {
+		return nil, fmt.Errorf("hook: %s: already attached (%s)", p.name, p.link.Label())
+	}
+	l := &Link{point: p, payload: payload, label: label}
+	p.payload, p.link = payload, l
+	return l, nil
+}
+
+// UserPayload returns the installed userspace policy, or nil.
+func (p *Point) UserPayload() any { return p.payload }
+
+// UserRun accounts one invocation of a userspace attachment.
+func (p *Point) UserRun() {
+	p.stats.Runs++
+	p.runsCtr.Inc()
+	if p.link != nil {
+		p.link.stats.Runs++
+	}
+}
+
+// Set is the legacy imperative surface (SetProgram/SetXDP/SetPolicy):
+// nil detaches, a program attaches or live-replaces. Layers keep it so
+// direct (non-daemon) users and existing tests stay one call; syrupd goes
+// through Attach/Replace/Detach to own the Links.
+func (p *Point) Set(prog *ebpf.Program) {
+	if prog == nil {
+		if p.link != nil {
+			p.link.Detach()
+		}
+		return
+	}
+	if p.link != nil && p.link.prog != nil {
+		// Live replace; cannot fail for a non-nil program on a live link.
+		if err := p.link.Replace(prog); err != nil {
+			panic(err)
+		}
+		return
+	}
+	if p.link != nil {
+		p.link.Detach() // userspace attachment swapped for a program
+	}
+	if _, err := p.Attach(prog); err != nil {
+		panic(err) // unreachable: slot was just emptied
+	}
+}
+
+// Run executes the installed program against one input and classifies the
+// result. An empty slot is a Pass (the layer default); a runtime fault is
+// a Pass with Faulted set and both fault counters bumped.
+func (p *Point) Run(in Input) Verdict {
+	if p.prog == nil {
+		if p.payload != nil {
+			panic(fmt.Sprintf("hook: %s: Run on a userspace attachment", p.name))
+		}
+		return Verdict{Action: Pass}
+	}
+	env := in.Env
+	if env == nil {
+		env = p.env
+	}
+	p.ctx = ebpf.Ctx{Packet: in.Packet, Hash: in.Hash, Port: in.Port, Queue: in.Queue}
+	raw, _, err := p.prog.Run(&p.ctx, env)
+
+	p.stats.Runs++
+	p.runsCtr.Inc()
+	link := p.link
+	if link != nil {
+		link.stats.Runs++
+	}
+	switch {
+	case err != nil:
+		p.stats.Faults++
+		p.faultsCtr.Inc()
+		faultsTotal.Inc()
+		if link != nil {
+			link.stats.Faults++
+		}
+		return Verdict{Action: Pass, Faulted: true}
+	case raw == ebpf.VerdictDrop:
+		p.stats.Drops++
+		if link != nil {
+			link.stats.Drops++
+		}
+		return Verdict{Action: Drop}
+	case raw == ebpf.VerdictPass:
+		p.stats.Passes++
+		if link != nil {
+			link.stats.Passes++
+		}
+		return Verdict{Action: Pass}
+	default:
+		p.stats.Steers++
+		if link != nil {
+			link.stats.Steers++
+		}
+		return Verdict{Action: Steer, Index: raw}
+	}
+}
+
+// Link is an owned attachment of one program (or userspace policy) to one
+// Point — the bpf_link of this stack. Whoever holds the Link controls the
+// attachment's lifecycle; per-link counters survive Replace, so a link's
+// stats describe the deployment, not one program generation.
+type Link struct {
+	point   *Point
+	prog    *ebpf.Program
+	payload any
+	label   string
+
+	stats Stats
+	swaps uint64
+
+	detached bool
+}
+
+// Point returns the hook point this link attaches to.
+func (l *Link) Point() *Point { return l.point }
+
+// Program returns the currently installed program generation (nil for
+// userspace attachments).
+func (l *Link) Program() *ebpf.Program { return l.prog }
+
+// Payload returns the currently installed userspace policy (nil for
+// program attachments).
+func (l *Link) Payload() any { return l.payload }
+
+// Label is a human-readable identity: the program name, or the label
+// given to AttachUser.
+func (l *Link) Label() string { return l.label }
+
+// Stats returns this attachment's accounting (cumulative across
+// Replace generations).
+func (l *Link) Stats() Stats { return l.stats }
+
+// Swaps reports how many times Replace upgraded this link.
+func (l *Link) Swaps() uint64 { return l.swaps }
+
+// Detached reports whether the link has been torn down.
+func (l *Link) Detached() bool { return l.detached }
+
+// Detach tears the attachment down; the point's slot empties and the
+// layer falls back to its default path. Idempotent.
+func (l *Link) Detach() {
+	if l.detached {
+		return
+	}
+	l.detached = true
+	if l.point.link == l {
+		l.point.prog, l.point.payload, l.point.link = nil, nil, nil
+	}
+}
+
+// Replace atomically swaps the installed program for prog. The swap
+// happens between event-loop callbacks — any in-flight Run completes on
+// the old generation, the next Run sees the new one, and no input ever
+// observes an empty slot.
+func (l *Link) Replace(prog *ebpf.Program) error {
+	if prog == nil {
+		return fmt.Errorf("hook: %s: Replace(nil); use Detach", l.point.name)
+	}
+	if l.detached {
+		return fmt.Errorf("hook: %s: Replace on detached link", l.point.name)
+	}
+	if l.prog == nil {
+		return fmt.Errorf("hook: %s: Replace program on userspace attachment", l.point.name)
+	}
+	l.prog, l.label = prog, prog.Name()
+	l.point.prog = prog
+	l.swaps++
+	return nil
+}
+
+// ReplaceUser atomically swaps the installed userspace policy.
+func (l *Link) ReplaceUser(payload any, label string) error {
+	if payload == nil {
+		return fmt.Errorf("hook: %s: ReplaceUser(nil); use Detach", l.point.name)
+	}
+	if l.detached {
+		return fmt.Errorf("hook: %s: ReplaceUser on detached link", l.point.name)
+	}
+	if l.payload == nil {
+		return fmt.Errorf("hook: %s: ReplaceUser on program attachment", l.point.name)
+	}
+	l.payload, l.label = payload, label
+	l.point.payload = payload
+	l.swaps++
+	return nil
+}

@@ -1,0 +1,240 @@
+package hook
+
+import (
+	"strings"
+	"testing"
+
+	"syrup/internal/ebpf"
+	"syrup/internal/metrics"
+)
+
+func mustProg(t *testing.T, name, src string) *ebpf.Program {
+	t.Helper()
+	p, _, err := ebpf.AssembleAndLoad(name, src, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// faultyProg builds an unverified program that hits a runtime error on its
+// first instruction (dereference through an uninitialized register).
+func faultyProg(t *testing.T) *ebpf.Program {
+	t.Helper()
+	insns := []ebpf.Instruction{
+		ebpf.Ldx(8, ebpf.R0, ebpf.R2, 0),
+		ebpf.Exit(),
+	}
+	p, err := ebpf.Load("faulty", insns, ebpf.LoadOptions{NoVerify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPointEmptyRunsPass(t *testing.T) {
+	p := NewPoint(XDPDrv, "t_empty", nil)
+	v := p.Run(Input{Packet: []byte{1}})
+	if v.Action != Pass || v.Faulted {
+		t.Fatalf("empty point verdict = %+v", v)
+	}
+	if p.Stats().Runs != 0 {
+		t.Fatal("empty point counted a run")
+	}
+}
+
+func TestAttachRunDetachLifecycle(t *testing.T) {
+	pt := NewPoint(SocketSelect, "t_lifecycle", nil)
+	steer := mustProg(t, "steer2", "r0 = 2\nexit\n")
+	l, err := pt.Attach(steer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pt.Attached() || pt.Program() != steer || pt.Link() != l {
+		t.Fatal("attach did not install")
+	}
+	// Second attach must fail while occupied.
+	if _, err := pt.Attach(mustProg(t, "other", "r0 = PASS\nexit\n")); err == nil {
+		t.Fatal("double attach succeeded")
+	}
+
+	v := pt.Run(Input{Packet: []byte{1, 2}})
+	if v.Action != Steer || v.Index != 2 {
+		t.Fatalf("verdict = %+v", v)
+	}
+	if st := pt.Stats(); st.Runs != 1 || st.Steers != 1 {
+		t.Fatalf("point stats = %+v", st)
+	}
+	if st := l.Stats(); st.Runs != 1 || st.Steers != 1 {
+		t.Fatalf("link stats = %+v", st)
+	}
+
+	l.Detach()
+	if pt.Attached() || pt.Link() != nil || !l.Detached() {
+		t.Fatal("detach did not empty the slot")
+	}
+	l.Detach() // idempotent
+	if v := pt.Run(Input{}); v.Action != Pass {
+		t.Fatal("detached point did not fall back to Pass")
+	}
+	// The slot is free again.
+	if _, err := pt.Attach(steer); err != nil {
+		t.Fatalf("re-attach after detach: %v", err)
+	}
+}
+
+func TestReplaceSwapsLive(t *testing.T) {
+	pt := NewPoint(SocketSelect, "t_replace", nil)
+	l, err := pt.Attach(mustProg(t, "gen1", "r0 = 1\nexit\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := pt.Run(Input{}); v.Index != 1 {
+		t.Fatalf("gen1 verdict = %+v", v)
+	}
+	gen2 := mustProg(t, "gen2", "r0 = 7\nexit\n")
+	if err := l.Replace(gen2); err != nil {
+		t.Fatal(err)
+	}
+	if pt.Program() != gen2 || l.Program() != gen2 || l.Swaps() != 1 {
+		t.Fatal("replace did not swap the installed program")
+	}
+	if v := pt.Run(Input{}); v.Index != 7 {
+		t.Fatalf("gen2 verdict = %+v", v)
+	}
+	// Per-link counters survive the swap: they describe the deployment.
+	if st := l.Stats(); st.Runs != 2 {
+		t.Fatalf("link runs after swap = %d", st.Runs)
+	}
+	if err := l.Replace(nil); err == nil {
+		t.Fatal("Replace(nil) succeeded")
+	}
+	l.Detach()
+	if err := l.Replace(gen2); err == nil {
+		t.Fatal("Replace on detached link succeeded")
+	}
+}
+
+func TestFaultCountsAndFailsOpen(t *testing.T) {
+	pt := NewPoint(XDPOffload, "t_fault", nil)
+	before := metrics.Counters()["ebpf_hook_faults"]
+	l, err := pt.Attach(faultyProg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := pt.Run(Input{Packet: []byte{1}})
+	if v.Action != Pass || !v.Faulted {
+		t.Fatalf("fault verdict = %+v", v)
+	}
+	if st := pt.Stats(); st.Faults != 1 || st.Runs != 1 || st.Passes != 0 {
+		t.Fatalf("point stats = %+v", st)
+	}
+	if st := l.Stats(); st.Faults != 1 {
+		t.Fatalf("link stats = %+v", st)
+	}
+	after := metrics.Counters()
+	if after["ebpf_hook_faults"] != before+1 {
+		t.Fatalf("aggregate fault metric %d -> %d", before, after["ebpf_hook_faults"])
+	}
+	if after["ebpf_hook_faults_t_fault"] != 1 {
+		t.Fatalf("per-point fault metric = %d", after["ebpf_hook_faults_t_fault"])
+	}
+}
+
+func TestSetCompatSurface(t *testing.T) {
+	pt := NewPoint(Storage, "t_set", nil)
+	a := mustProg(t, "a", "r0 = PASS\nexit\n")
+	b := mustProg(t, "b", "r0 = DROP\nexit\n")
+	pt.Set(a)
+	first := pt.Link()
+	if pt.Program() != a || first == nil {
+		t.Fatal("Set did not attach")
+	}
+	pt.Set(b) // live replace keeps the link identity
+	if pt.Program() != b || pt.Link() != first || first.Swaps() != 1 {
+		t.Fatal("Set did not live-replace")
+	}
+	pt.Set(nil)
+	if pt.Attached() || !first.Detached() {
+		t.Fatal("Set(nil) did not detach")
+	}
+	pt.Set(nil) // idempotent on empty slot
+}
+
+type tPolicy struct{ id int }
+
+func TestUserAttachment(t *testing.T) {
+	pt := NewPoint(ThreadSched, "t_user", nil)
+	p1 := &tPolicy{1}
+	l, err := pt.AttachUser(p1, "policy-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.UserPayload() != p1 || l.Label() != "policy-1" {
+		t.Fatal("user attach did not install")
+	}
+	pt.UserRun()
+	if pt.Stats().Runs != 1 || l.Stats().Runs != 1 {
+		t.Fatal("UserRun not accounted")
+	}
+	// Running the eBPF path on a userspace attachment is a modeling bug.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Run on userspace attachment did not panic")
+			}
+		}()
+		pt.Run(Input{})
+	}()
+	p2 := &tPolicy{2}
+	if err := l.ReplaceUser(p2, "policy-2"); err != nil {
+		t.Fatal(err)
+	}
+	if pt.UserPayload() != p2 || l.Swaps() != 1 {
+		t.Fatal("ReplaceUser did not swap")
+	}
+	if err := l.Replace(mustProg(t, "x", "r0 = PASS\nexit\n")); err == nil {
+		t.Fatal("program Replace on userspace attachment succeeded")
+	}
+	l.Detach()
+	if pt.UserPayload() != nil {
+		t.Fatal("detach left payload")
+	}
+}
+
+func TestEnvOverride(t *testing.T) {
+	// get_smp_processor_id reads Env.CPUID; the per-call override must win
+	// over the point default.
+	src := "call get_smp_processor_id\nexit\n"
+	pt := NewPoint(CPURedirect, "t_env", &ebpf.Env{CPUID: 3})
+	if _, err := pt.Attach(mustProg(t, "cpu", src)); err != nil {
+		t.Fatal(err)
+	}
+	if v := pt.Run(Input{}); v.Index != 3 {
+		t.Fatalf("default env verdict = %+v", v)
+	}
+	if v := pt.Run(Input{Env: &ebpf.Env{CPUID: 5}}); v.Index != 5 {
+		t.Fatalf("override env verdict = %+v", v)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	if len(Hooks()) != 7 {
+		t.Fatalf("registry size = %d", len(Hooks()))
+	}
+	for _, name := range Names() {
+		k, err := Parse(name)
+		if err != nil || string(k) != name {
+			t.Fatalf("Parse(%q) = %v, %v", name, k, err)
+		}
+	}
+	if _, err := Parse("bogus"); err == nil {
+		t.Fatal("Parse accepted bogus hook")
+	}
+	tbl := MarkdownTable()
+	for _, name := range Names() {
+		if !strings.Contains(tbl, "`"+name+"`") {
+			t.Fatalf("markdown table missing %s", name)
+		}
+	}
+}

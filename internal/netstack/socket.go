@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"syrup/internal/ebpf"
+	"syrup/internal/hook"
 	"syrup/internal/nic"
 )
 
@@ -103,7 +104,9 @@ type ReuseportGroup struct {
 	App  uint32
 
 	sockets []*Socket
-	prog    *ebpf.Program
+	// point is the group's Socket Select hook point (per-group attachment
+	// is what gives the hook per-application isolation).
+	point *hook.Point
 
 	// Late binding (§6.3): instead of assigning each datagram to a socket
 	// on arrival (early binding), datagrams wait in one shared queue and
@@ -112,10 +115,6 @@ type ReuseportGroup struct {
 	lateBinding bool
 	lateQueue   []*nic.Packet
 	lateCap     int
-
-	// ctx is the reusable program context for Socket Select runs (the
-	// engine is single-threaded, so per-group reuse is race-free).
-	ctx ebpf.Ctx
 
 	// Stats.
 	PolicyRuns   uint64
@@ -176,7 +175,11 @@ func (g *ReuseportGroup) QueuedLate() int { return len(g.lateQueue) }
 
 // NewReuseportGroup creates an empty group for a port.
 func NewReuseportGroup(port uint16, app uint32) *ReuseportGroup {
-	return &ReuseportGroup{Port: port, App: app}
+	return &ReuseportGroup{
+		Port:  port,
+		App:   app,
+		point: hook.NewPoint(hook.SocketSelect, fmt.Sprintf("socket_select:%d", port), nil),
+	}
 }
 
 // AddSocket appends a socket to the group's executor table and returns its
@@ -194,11 +197,16 @@ func (g *ReuseportGroup) AddSocket(s *Socket) int {
 // Sockets exposes the executor table.
 func (g *ReuseportGroup) Sockets() []*Socket { return g.sockets }
 
-// SetProgram attaches (or clears) the group's Socket Select policy.
-func (g *ReuseportGroup) SetProgram(p *ebpf.Program) { g.prog = p }
+// SetProgram attaches (or clears) the group's Socket Select policy,
+// attaching/replacing/detaching through the hook point.
+func (g *ReuseportGroup) SetProgram(p *ebpf.Program) { g.point.Set(p) }
 
 // Program returns the attached policy, if any.
-func (g *ReuseportGroup) Program() *ebpf.Program { return g.prog }
+func (g *ReuseportGroup) Program() *ebpf.Program { return g.point.Program() }
+
+// Hook exposes the group's Socket Select hook point; syrupd attaches
+// through it.
+func (g *ReuseportGroup) Hook() *hook.Point { return g.point }
 
 // selectResult is the outcome of socket selection.
 type selectResult int
@@ -218,26 +226,22 @@ func (g *ReuseportGroup) selectSocket(pkt *nic.Packet, hash uint32, env *ebpf.En
 	defaultPick := func() *Socket {
 		return g.sockets[hash%uint32(len(g.sockets))]
 	}
-	if g.prog == nil {
+	if !g.point.Attached() {
 		return defaultPick(), selected
 	}
 	g.PolicyRuns++
-	g.ctx = ebpf.Ctx{Packet: pkt.Bytes(), Hash: hash, Port: uint32(pkt.DstPort), Queue: uint32(pkt.Queue)}
-	verdict, _, err := g.prog.Run(&g.ctx, env)
+	v := g.point.Run(hook.Input{Packet: pkt.Bytes(), Hash: hash, Port: uint32(pkt.DstPort), Queue: uint32(pkt.Queue), Env: env})
 	switch {
-	case err != nil:
-		// Verified programs cannot fault; a NoVerify program that does is
-		// treated as PASS, mirroring the kernel's fail-open default.
+	case v.Faulted || v.Action == hook.Pass:
+		// A fault fails open like the kernel (counted by the hook point's
+		// fault counters, so verifier escapes stay visible).
 		g.PolicyPasses++
 		return defaultPick(), selected
-	case verdict == ebpf.VerdictPass:
-		g.PolicyPasses++
-		return defaultPick(), selected
-	case verdict == ebpf.VerdictDrop:
+	case v.Action == hook.Drop:
 		g.PolicyDrops++
 		return nil, dropped
-	case int(verdict) < len(g.sockets):
-		return g.sockets[verdict], selected
+	case int(v.Index) < len(g.sockets):
+		return g.sockets[v.Index], selected
 	default:
 		g.NoExecutor++
 		return nil, noExecutor

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"syrup/internal/ebpf"
+	"syrup/internal/hook"
 	"syrup/internal/nic"
 	"syrup/internal/sim"
 )
@@ -90,10 +91,13 @@ type Stack struct {
 	cores []softirqCore
 	envs  []*ebpf.Env
 
+	// xdp is the XDP hook point (one slot serving both drv and skb
+	// attachments; mode selects where in the receive path it runs).
 	xdpMode XDPMode
-	xdpProg *ebpf.Program
+	xdp     *hook.Point
 
-	cpuRedirect *ebpf.Program
+	// cpuRedirect is the CPU Redirect hook point.
+	cpuRedirect *hook.Point
 
 	groups    map[uint16]*ReuseportGroup
 	tcpGroups map[uint16]*TCPGroup
@@ -104,11 +108,6 @@ type Stack struct {
 	// socket list (the paper's Syrup SW setup registers one socket per
 	// MICA thread per queue).
 	xsks map[uint16][][]*Socket
-
-	// ctx is the reusable program context for the XDP and CPU Redirect
-	// hooks; the engine is single-threaded and Run is synchronous, so one
-	// scratch Ctx per stack keeps the per-packet path allocation-free.
-	ctx ebpf.Ctx
 
 	Stats Stats
 }
@@ -133,6 +132,10 @@ func New(eng *sim.Engine, cfg Config, queues int) *Stack {
 			CPUID:   uint32(i),
 		})
 	}
+	// The points' default env is queue 0's; runs pass the per-core env
+	// explicitly so get_smp_processor_id reads the executing softirq core.
+	s.xdp = hook.NewPoint(hook.XDPDrv, "xdp", s.envs[0])
+	s.cpuRedirect = hook.NewPoint(hook.CPURedirect, string(hook.CPURedirect), s.envs[0])
 	return s
 }
 
@@ -151,21 +154,40 @@ func max(a, b int) int {
 	return b
 }
 
-// SetXDP installs the XDP hook program and mode (XDPNone clears).
+// XDP exposes the XDP hook point; syrupd attaches through it (pairing the
+// attachment with SetXDPMode).
+func (s *Stack) XDP() *hook.Point { return s.xdp }
+
+// CPURedirect exposes the CPU Redirect hook point.
+func (s *Stack) CPURedirect() *hook.Point { return s.cpuRedirect }
+
+// SetXDPMode selects where in the receive path the XDP point runs. The
+// mode only matters while a program is attached; XDPNone disables the
+// hook's cost stage without touching the attachment.
+func (s *Stack) SetXDPMode(mode XDPMode) { s.xdpMode = mode }
+
+// XDPMode reports the current mode.
+func (s *Stack) XDPMode() XDPMode { return s.xdpMode }
+
+// SetXDP installs the XDP hook program and mode (XDPNone clears),
+// attaching/replacing/detaching through the hook point.
 func (s *Stack) SetXDP(mode XDPMode, p *ebpf.Program) {
 	if mode == XDPNone {
-		s.xdpMode, s.xdpProg = XDPNone, nil
+		s.xdpMode = XDPNone
+		s.xdp.Set(nil)
 		return
 	}
 	if p == nil {
 		panic("netstack: XDP mode without program")
 	}
-	s.xdpMode, s.xdpProg = mode, p
+	s.xdpMode = mode
+	s.xdp.Set(p)
 }
 
-// SetCPURedirect installs the CPU Redirect hook program: its verdict moves
-// protocol processing for a packet onto another softirq core.
-func (s *Stack) SetCPURedirect(p *ebpf.Program) { s.cpuRedirect = p }
+// SetCPURedirect installs the CPU Redirect hook program (nil clears): its
+// verdict moves protocol processing for a packet onto another softirq
+// core.
+func (s *Stack) SetCPURedirect(p *ebpf.Program) { s.cpuRedirect.Set(p) }
 
 // Group returns (creating if needed) the reuseport group for port.
 func (s *Stack) Group(port uint16, app uint32) *ReuseportGroup {
@@ -230,12 +252,13 @@ func (s *Stack) Deliver(queue int, pkt *nic.Packet) {
 	}
 	core.backlog++
 
-	// Compute this packet's softirq occupancy.
+	// Compute this packet's softirq occupancy. A detached XDP point (e.g.
+	// after a revoke) charges the plain-SKB path: nothing runs there.
 	var cost sim.Time
-	switch s.xdpMode {
-	case XDPNative:
+	switch {
+	case s.xdpMode == XDPNative && s.xdp.Attached():
 		cost = s.cfg.PolicyRunCost // pre-SKB, zero-copy
-	case XDPGeneric:
+	case s.xdpMode == XDPGeneric && s.xdp.Attached():
 		cost = s.cfg.SKBAllocCost + s.cfg.PolicyRunCost + s.cfg.XSKCopyCost
 	default:
 		cost = s.cfg.SKBAllocCost
@@ -261,27 +284,24 @@ func (s *Stack) Deliver(queue int, pkt *nic.Packet) {
 // (XDP hook or plain SKB allocation).
 func (s *Stack) afterIngress(queue int, pkt *nic.Packet) {
 	s.Stats.Processed++
-	if s.xdpMode != XDPNone {
-		s.ctx = ebpf.Ctx{Packet: pkt.Bytes(), Hash: pkt.RSSHash(), Port: uint32(pkt.DstPort), Queue: uint32(queue)}
-		verdict, _, err := s.xdpProg.Run(&s.ctx, s.envs[queue])
+	if s.xdpMode != XDPNone && s.xdp.Attached() {
+		v := s.xdp.Run(hook.Input{Packet: pkt.Bytes(), Hash: pkt.RSSHash(), Port: uint32(pkt.DstPort), Queue: uint32(queue), Env: s.envs[queue]})
 		switch {
-		case err != nil:
-			// fail-open: continue up the stack
-		case verdict == ebpf.VerdictDrop:
+		case v.Faulted || v.Action == hook.Pass:
+			// fail-open / PASS: continue up the stack
+		case v.Action == hook.Drop:
 			s.Stats.XSKDrops++
 			return
-		case verdict == ebpf.VerdictPass:
-			// continue up the stack
 		default:
 			var table []*Socket
 			if tables := s.xsks[pkt.DstPort]; tables != nil {
 				table = tables[queue]
 			}
-			if int(verdict) >= len(table) {
+			if int(v.Index) >= len(table) {
 				s.Stats.NoExecutorDrops++
 				return
 			}
-			if !table[verdict].Enqueue(pkt) {
+			if !table[v.Index].Enqueue(pkt) {
 				s.Stats.XSKDrops++
 				return
 			}
@@ -292,16 +312,15 @@ func (s *Stack) afterIngress(queue int, pkt *nic.Packet) {
 
 	// CPU Redirect hook: choose the core for protocol processing.
 	protoCore := queue
-	if s.cpuRedirect != nil {
-		s.ctx = ebpf.Ctx{Packet: pkt.Bytes(), Hash: pkt.RSSHash(), Port: uint32(pkt.DstPort), Queue: uint32(queue)}
-		verdict, _, err := s.cpuRedirect.Run(&s.ctx, s.envs[queue])
+	if s.cpuRedirect.Attached() {
+		v := s.cpuRedirect.Run(hook.Input{Packet: pkt.Bytes(), Hash: pkt.RSSHash(), Port: uint32(pkt.DstPort), Queue: uint32(queue), Env: s.envs[queue]})
 		switch {
-		case err != nil || verdict == ebpf.VerdictPass:
-		case verdict == ebpf.VerdictDrop:
+		case v.Faulted || v.Action == hook.Pass:
+		case v.Action == hook.Drop:
 			s.Stats.PolicyDrops++
 			return
-		case int(verdict) < len(s.cores):
-			protoCore = int(verdict)
+		case int(v.Index) < len(s.cores):
+			protoCore = int(v.Index)
 		default:
 			s.Stats.NoExecutorDrops++
 			return
@@ -315,14 +334,14 @@ func (s *Stack) afterIngress(queue int, pkt *nic.Packet) {
 func (s *Stack) protocolStage(core int, pkt *nic.Packet) {
 	c := &s.cores[core]
 	cost := s.cfg.ProtoCost
-	if s.cpuRedirect != nil {
+	if s.cpuRedirect.Attached() {
 		cost += s.cfg.PolicyRunCost
 	}
-	if g, ok := s.groups[pkt.DstPort]; ok && g.prog != nil {
+	if g, ok := s.groups[pkt.DstPort]; ok && g.point.Attached() {
 		// The Socket Select policy runs inline with delivery on this core.
 		cost += s.cfg.PolicyRunCost
 	}
-	if tg, ok := s.tcpGroups[pkt.DstPort]; ok && tg.prog != nil && (pkt.SYN || tg.kcm) {
+	if tg, ok := s.tcpGroups[pkt.DstPort]; ok && tg.point.Attached() && (pkt.SYN || tg.kcm) {
 		cost += s.cfg.PolicyRunCost
 	}
 	now := s.eng.Now()

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"syrup/internal/ebpf"
+	"syrup/internal/hook"
 	"syrup/internal/nic"
 )
 
@@ -90,7 +91,9 @@ type TCPGroup struct {
 	App  uint32
 
 	listeners []*Listener
-	prog      *ebpf.Program
+	// point is the group's Socket Select hook point (per-group attachment
+	// gives the hook per-application isolation, as for UDP groups).
+	point *hook.Point
 
 	// KCM mode: when enabled, framed requests are re-scheduled per
 	// request by the program instead of following their connection.
@@ -98,10 +101,6 @@ type TCPGroup struct {
 
 	conns      map[uint64]*Conn // by flow key
 	nextConnID uint64
-
-	// ctx is the reusable program context for Socket Select runs (the
-	// engine is single-threaded, so per-group reuse is race-free).
-	ctx ebpf.Ctx
 
 	// Stats.
 	Accepted    uint64
@@ -113,7 +112,12 @@ type TCPGroup struct {
 
 // NewTCPGroup creates an empty TCP group.
 func NewTCPGroup(port uint16, app uint32) *TCPGroup {
-	return &TCPGroup{Port: port, App: app, conns: make(map[uint64]*Conn)}
+	return &TCPGroup{
+		Port:  port,
+		App:   app,
+		conns: make(map[uint64]*Conn),
+		point: hook.NewPoint(hook.SocketSelect, fmt.Sprintf("socket_select:%d/tcp", port), nil),
+	}
 }
 
 // AddListener registers a listener and returns its executor index.
@@ -131,8 +135,13 @@ func (g *TCPGroup) AddListener(label string, acceptCap, requestCap int) (*Listen
 func (g *TCPGroup) Listeners() []*Listener { return g.listeners }
 
 // SetProgram attaches the Socket Select policy (runs per SYN, or per
-// request in KCM mode).
-func (g *TCPGroup) SetProgram(p *ebpf.Program) { g.prog = p }
+// request in KCM mode), attaching/replacing/detaching through the hook
+// point.
+func (g *TCPGroup) SetProgram(p *ebpf.Program) { g.point.Set(p) }
+
+// Hook exposes the group's Socket Select hook point; syrupd attaches
+// through it.
+func (g *TCPGroup) Hook() *hook.Point { return g.point }
 
 // EnableKCM switches to request-level scheduling over streams (§6.4).
 func (g *TCPGroup) EnableKCM() { g.kcm = true }
@@ -216,19 +225,18 @@ func (g *TCPGroup) selectListener(pkt *nic.Packet, hash uint32, env *ebpf.Env) *
 		g.NoExecutor++
 		return nil
 	}
-	if g.prog == nil {
+	if !g.point.Attached() {
 		return g.listeners[hash%uint32(len(g.listeners))]
 	}
-	g.ctx = ebpf.Ctx{Packet: pkt.Bytes(), Hash: hash, Port: uint32(pkt.DstPort), Queue: uint32(pkt.Queue)}
-	verdict, _, err := g.prog.Run(&g.ctx, env)
+	v := g.point.Run(hook.Input{Packet: pkt.Bytes(), Hash: hash, Port: uint32(pkt.DstPort), Queue: uint32(pkt.Queue), Env: env})
 	switch {
-	case err != nil, verdict == ebpf.VerdictPass:
+	case v.Faulted || v.Action == hook.Pass:
 		return g.listeners[hash%uint32(len(g.listeners))]
-	case verdict == ebpf.VerdictDrop:
+	case v.Action == hook.Drop:
 		g.PolicyDrops++
 		return nil
-	case int(verdict) < len(g.listeners):
-		return g.listeners[verdict]
+	case int(v.Index) < len(g.listeners):
+		return g.listeners[v.Index]
 	default:
 		g.NoExecutor++
 		return nil

@@ -13,6 +13,7 @@ import (
 	"hash/fnv"
 
 	"syrup/internal/ebpf"
+	"syrup/internal/hook"
 	"syrup/internal/sim"
 )
 
@@ -120,6 +121,10 @@ type Stats struct {
 	DroppedRing  uint64
 	DroppedByXDP uint64
 	OffloadRuns  uint64
+	// OffloadFaults counts offload-program runtime errors. A verified
+	// program faulting means a verifier escape; the packet fails open to
+	// RSS, but the escape must be visible, not silently read as PASS.
+	OffloadFaults uint64
 }
 
 // NIC is the simulated device.
@@ -129,12 +134,9 @@ type NIC struct {
 
 	rssTable []int // 128-entry indirection table
 
-	offload *ebpf.Program
-	env     *ebpf.Env
-	// ctx is the reusable program context for offload runs; the engine is
-	// single-threaded and Run is synchronous, so one scratch Ctx per NIC
-	// keeps the per-packet path allocation-free.
-	ctx ebpf.Ctx
+	// offload is the XDP Offload hook point: it owns the installed
+	// program, the NIC-side Env, and the reusable scratch Ctx.
+	offload *hook.Point
 
 	// inflight counts packets handed to the host but not yet consumed,
 	// per queue; it bounds the ring.
@@ -154,10 +156,10 @@ func New(eng *sim.Engine, cfg Config, deliver DeliverFunc) *NIC {
 	for i := range n.rssTable {
 		n.rssTable[i] = i % cfg.Queues
 	}
-	n.env = &ebpf.Env{
+	n.offload = hook.NewPoint(hook.XDPOffload, string(hook.XDPOffload), &ebpf.Env{
 		Prandom: func() uint32 { return eng.Rand().Uint32() },
 		Ktime:   func() uint64 { return uint64(eng.Now()) },
-	}
+	})
 	return n
 }
 
@@ -167,12 +169,14 @@ func (n *NIC) NumQueues() int { return n.cfg.Queues }
 // HostMapRTT reports the configured host↔NIC map round trip.
 func (n *NIC) HostMapRTT() sim.Time { return n.cfg.HostMapRTT }
 
-// SetOffloadProgram installs the XDP Offload hook program (nil clears). The
-// program's verdict selects the RX queue; PASS falls back to RSS; DROP
-// discards the frame.
-func (n *NIC) SetOffloadProgram(p *ebpf.Program) {
-	n.offload = p
-}
+// Offload exposes the XDP Offload hook point; syrupd attaches through it.
+func (n *NIC) Offload() *hook.Point { return n.offload }
+
+// SetOffloadProgram installs the XDP Offload hook program (nil clears),
+// attaching/replacing/detaching through the hook point. The program's
+// verdict selects the RX queue; PASS falls back to RSS; DROP discards the
+// frame.
+func (n *NIC) SetOffloadProgram(p *ebpf.Program) { n.offload.Set(p) }
 
 // Receive is called at the packet's wire-arrival time. It runs offloaded
 // steering, applies RSS otherwise, and hands the packet to the host after
@@ -184,26 +188,25 @@ func (n *NIC) Receive(pkt *Packet) {
 	queue := n.rssTable[hash%uint32(len(n.rssTable))]
 	extra := sim.Time(0)
 
-	if n.offload != nil {
+	if n.offload.Attached() {
 		n.Stats.OffloadRuns++
 		extra = n.cfg.OffloadCost
-		n.ctx = ebpf.Ctx{
+		v := n.offload.Run(hook.Input{
 			Packet: pkt.Bytes(),
 			Hash:   hash,
 			Port:   uint32(pkt.DstPort),
 			Queue:  uint32(queue),
-		}
-		verdict, _, err := n.offload.Run(&n.ctx, n.env)
+		})
 		switch {
-		case err != nil:
-			// A verified program should never fault; treat like PASS.
-		case verdict == ebpf.VerdictDrop:
+		case v.Faulted:
+			n.Stats.OffloadFaults++ // fail open: keep RSS choice
+		case v.Action == hook.Drop:
 			n.Stats.DroppedByXDP++
 			return
-		case verdict == ebpf.VerdictPass:
+		case v.Action == hook.Pass:
 			// keep RSS choice
-		case int(verdict) < n.cfg.Queues:
-			queue = int(verdict)
+		case int(v.Index) < n.cfg.Queues:
+			queue = int(v.Index)
 		default:
 			// Out-of-range executor index: no such queue.
 			n.Stats.DroppedByXDP++

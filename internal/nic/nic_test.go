@@ -155,6 +155,37 @@ func TestOffloadDropAndOutOfRange(t *testing.T) {
 	}
 }
 
+func TestOffloadFaultFailsOpenAndCounts(t *testing.T) {
+	eng := sim.New(1)
+	delivered := 0
+	dev := New(eng, Config{Queues: 4}, func(q int, pkt *Packet) { delivered++ })
+	// A NoVerify program that dereferences an uninitialized register: the
+	// stand-in for a verifier escape hitting a runtime fault on the NIC.
+	faulty, err := ebpf.Load("faulty", []ebpf.Instruction{
+		ebpf.Ldx(8, ebpf.R0, ebpf.R2, 0),
+		ebpf.Exit(),
+	}, ebpf.LoadOptions{NoVerify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.SetOffloadProgram(faulty)
+	p := mkPkt(1, 100, nil)
+	rssQueue := dev.rssTable[p.RSSHash()%uint32(len(dev.rssTable))]
+	dev.Receive(p)
+	eng.Run()
+	// Fail open: the packet is delivered on the RSS-chosen queue...
+	if delivered != 1 || p.Queue != rssQueue {
+		t.Fatalf("fault did not fail open to RSS: delivered=%d queue=%d want %d", delivered, p.Queue, rssQueue)
+	}
+	// ...but the fault is counted, not silently read as PASS.
+	if dev.Stats.OffloadFaults != 1 || dev.Stats.DroppedByXDP != 0 {
+		t.Fatalf("fault accounting: %+v", dev.Stats)
+	}
+	if st := dev.Offload().Stats(); st.Faults != 1 {
+		t.Fatalf("hook point faults = %d", st.Faults)
+	}
+}
+
 func TestOffloadedMapLatency(t *testing.T) {
 	eng := sim.New(1)
 	dev := New(eng, Config{Queues: 1, HostMapRTT: 25 * sim.Microsecond}, func(int, *Packet) {})

@@ -37,13 +37,24 @@ type Event struct {
 	seq   uint64 // tie-break: FIFO among simultaneous events
 	index int    // heap index; -1 when not queued
 	fn    func()
+	fired bool
 }
 
 // Time reports when the event is (or was) scheduled to fire.
 func (ev *Event) Time() Time { return ev.at }
 
-// Canceled reports whether the event has been canceled or already fired.
-func (ev *Event) Canceled() bool { return ev.fn == nil }
+// Canceled reports whether the event was canceled before firing. An event
+// that ran normally is Fired, not Canceled — teardown logic (e.g. hot-swap
+// detach paths) distinguishes "this work was revoked" from "this work
+// already happened".
+func (ev *Event) Canceled() bool { return ev.fn == nil && !ev.fired }
+
+// Fired reports whether the event's callback has executed.
+func (ev *Event) Fired() bool { return ev.fired }
+
+// Done reports whether the event will never fire in the future: it either
+// already fired or was canceled.
+func (ev *Event) Done() bool { return ev.fn == nil }
 
 type eventHeap []*Event
 
@@ -169,6 +180,7 @@ func (e *Engine) step() {
 	e.now = ev.at
 	fn := ev.fn
 	ev.fn = nil
+	ev.fired = true
 	e.fired++
 	fn()
 }

@@ -207,6 +207,39 @@ func TestPropertyMonotoneClock(t *testing.T) {
 	}
 }
 
+// TestFiredVsCanceled pins the Event lifecycle split: an event that ran
+// normally is Fired (not Canceled), an event that was canceled is Canceled
+// (not Fired), and Done covers both. Hot-swap teardown relies on this to
+// tell revoked work from completed work.
+func TestFiredVsCanceled(t *testing.T) {
+	e := New(1)
+	ran := e.At(10, func() {})
+	killed := e.At(20, func() { t.Fatal("canceled event fired") })
+	pending := e.At(30, func() {})
+	e.Cancel(killed)
+
+	if ran.Fired() || ran.Canceled() || ran.Done() {
+		t.Fatal("unfired event reports fired/canceled/done")
+	}
+	e.RunUntil(15)
+	if !ran.Fired() || !ran.Done() {
+		t.Fatal("fired event does not report Fired/Done")
+	}
+	if ran.Canceled() {
+		t.Fatal("fired event reports Canceled")
+	}
+	if !killed.Canceled() || !killed.Done() || killed.Fired() {
+		t.Fatal("canceled event lifecycle wrong")
+	}
+	// Cancel after firing must not flip a fired event to canceled.
+	e.Cancel(ran)
+	if ran.Canceled() || !ran.Fired() {
+		t.Fatal("cancel-after-fire corrupted lifecycle")
+	}
+	e.Cancel(pending)
+	e.Run()
+}
+
 func TestMicrosAndString(t *testing.T) {
 	if Microsecond.Micros() != 1 {
 		t.Fatal("Micros conversion wrong")

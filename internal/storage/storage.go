@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"syrup/internal/ebpf"
+	"syrup/internal/hook"
 	"syrup/internal/policy"
 	"syrup/internal/sim"
 )
@@ -107,11 +108,9 @@ type Device struct {
 	cfg Config
 
 	queues []ioQueue
-	prog   *ebpf.Program
-	env    *ebpf.Env
-	// ctx is the reusable program context for I/O scheduling runs (the
-	// engine is single-threaded, so per-device reuse is race-free).
-	ctx ebpf.Ctx
+	// submit is the device's submit hook point: it owns the installed
+	// program, the device Env, and the reusable scratch Ctx.
+	submit *hook.Point
 
 	Stats Stats
 }
@@ -128,16 +127,21 @@ func NewDevice(eng *sim.Engine, cfg Config) *Device {
 		eng:    eng,
 		cfg:    cfg,
 		queues: make([]ioQueue, cfg.Queues),
-		env: &ebpf.Env{
+		submit: hook.NewPoint(hook.Storage, string(hook.Storage), &ebpf.Env{
 			Prandom: func() uint32 { return eng.Rand().Uint32() },
 			Ktime:   func() uint64 { return uint64(eng.Now()) },
-		},
+		}),
 	}
 }
 
-// SetPolicy installs the submit-hook program (nil clears). The verdict is
-// a queue index, PASS (default LBA striping), or DROP (admission reject).
-func (d *Device) SetPolicy(p *ebpf.Program) { d.prog = p }
+// SetPolicy installs the submit-hook program (nil clears), attaching/
+// replacing/detaching through the hook point. The verdict is a queue
+// index, PASS (default LBA striping), or DROP (admission reject).
+func (d *Device) SetPolicy(p *ebpf.Program) { d.submit.Set(p) }
+
+// Submit exposes the device's submit hook point; syrupd attaches through
+// it.
+func (d *Device) SubmitHook() *hook.Point { return d.submit }
 
 // NumQueues reports the executor count.
 func (d *Device) NumQueues() int { return d.cfg.Queues }
@@ -152,18 +156,17 @@ func (d *Device) Submit(req *Request) bool {
 	req.SubmittedAt = d.eng.Now()
 	queue := int(req.LBA) % d.cfg.Queues
 
-	if d.prog != nil {
-		d.ctx = ebpf.Ctx{Packet: req.header(), Hash: uint32(req.LBA), Port: uint32(req.Tenant)}
-		verdict, _, err := d.prog.Run(&d.ctx, d.env)
+	if d.submit.Attached() {
+		v := d.submit.Run(hook.Input{Packet: req.header(), Hash: uint32(req.LBA), Port: uint32(req.Tenant)})
 		switch {
-		case err != nil:
-			// fail-open, like the network hooks
-		case verdict == ebpf.VerdictDrop:
+		case v.Faulted:
+			// fail-open, like the network hooks (faults counted by the point)
+		case v.Action == hook.Drop:
 			d.Stats.RejectedByPolicy++
 			return false
-		case verdict == ebpf.VerdictPass:
-		case int(verdict) < d.cfg.Queues:
-			queue = int(verdict)
+		case v.Action == hook.Pass:
+		case int(v.Index) < d.cfg.Queues:
+			queue = int(v.Index)
 		default:
 			d.Stats.NoExecutor++
 			return false
@@ -181,7 +184,7 @@ func (d *Device) Submit(req *Request) bool {
 	if req.Kind == Write {
 		cost = d.cfg.WriteCost
 	}
-	if d.prog != nil {
+	if d.submit.Attached() {
 		cost += d.cfg.PolicyRunCost
 	}
 	now := d.eng.Now()

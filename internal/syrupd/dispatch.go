@@ -1,9 +1,11 @@
 package syrupd
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"syrup/internal/ebpf"
+	"syrup/internal/hook"
 	"syrup/internal/netstack"
 )
 
@@ -15,7 +17,8 @@ import (
 type dispatcher struct {
 	hook      Hook
 	root      *ebpf.Program
-	portMap   *ebpf.Map // u32 port -> u64 slot
+	rootLink  *hook.Link // the root's attachment at the layer's hook point
+	portMap   *ebpf.Map  // u32 port -> u64 slot
 	progArray *ebpf.Map
 	nextSlot  uint32
 	slotOf    map[uint32]uint32 // app id -> prog array slot
@@ -25,43 +28,55 @@ const dispatcherSlots = 64
 
 // dispatcher returns (building and installing on first use) the hook's
 // dispatcher.
-func (d *Daemon) dispatcher(hook Hook) (*dispatcher, error) {
-	if disp, ok := d.dispatch[hook]; ok {
+func (d *Daemon) dispatcher(hk Hook) (*dispatcher, error) {
+	if disp, ok := d.dispatch[hk]; ok {
 		return disp, nil
 	}
 	portMap := ebpf.MustNewMap(ebpf.MapSpec{
-		Name: fmt.Sprintf("syrupd-%s-ports", hook), Type: ebpf.MapHash,
+		Name: fmt.Sprintf("syrupd-%s-ports", hk), Type: ebpf.MapHash,
 		KeySize: 4, ValueSize: 8, MaxEntries: dispatcherSlots,
 	})
 	progArray := ebpf.MustNewMap(ebpf.MapSpec{
-		Name: fmt.Sprintf("syrupd-%s-progs", hook), Type: ebpf.MapProgArray,
+		Name: fmt.Sprintf("syrupd-%s-progs", hk), Type: ebpf.MapProgArray,
 		KeySize: 4, ValueSize: 4, MaxEntries: dispatcherSlots,
 	})
-	root, err := buildRootDispatcher(string(hook), portMap, progArray)
+	root, err := buildRootDispatcher(string(hk), portMap, progArray)
 	if err != nil {
 		return nil, err
 	}
 	disp := &dispatcher{
-		hook: hook, root: root, portMap: portMap, progArray: progArray,
+		hook: hk, root: root, portMap: portMap, progArray: progArray,
 		slotOf: make(map[uint32]uint32),
 	}
-	// Install the root at the hook point.
-	switch hook {
+	// Attach the root at the layer's hook point; the daemon owns the link.
+	// The two XDP hooks share the stack's one XDP point (they differ only
+	// in where the program runs), so deploying to both at once fails the
+	// second Attach instead of silently shadowing the first.
+	var pt *hook.Point
+	xdpMode := netstack.XDPNone
+	switch hk {
 	case HookCPURedirect:
-		d.stack.SetCPURedirect(root)
+		pt = d.stack.CPURedirect()
 	case HookXDPDrv:
-		d.stack.SetXDP(netstack.XDPNative, root)
+		pt, xdpMode = d.stack.XDP(), netstack.XDPNative
 	case HookXDPSkb:
-		d.stack.SetXDP(netstack.XDPGeneric, root)
+		pt, xdpMode = d.stack.XDP(), netstack.XDPGeneric
 	case HookXDPOffload:
 		if d.dev == nil {
 			return nil, fmt.Errorf("syrupd: host has no NIC for offload")
 		}
-		d.dev.SetOffloadProgram(root)
+		pt = d.dev.Offload()
 	default:
-		return nil, fmt.Errorf("syrupd: hook %q has no dispatcher", hook)
+		return nil, fmt.Errorf("syrupd: hook %q has no dispatcher", hk)
 	}
-	d.dispatch[hook] = disp
+	disp.rootLink, err = pt.Attach(root)
+	if err != nil {
+		return nil, err
+	}
+	if xdpMode != netstack.XDPNone {
+		d.stack.SetXDPMode(xdpMode)
+	}
+	d.dispatch[hk] = disp
 	return disp, nil
 }
 
@@ -98,6 +113,9 @@ func buildRootDispatcher(name string, portMap, progArray *ebpf.Map) (*ebpf.Progr
 }
 
 // install binds an app's program into the dispatcher for all its ports.
+// Re-installing overwrites the app's PROG_ARRAY slot in place — the
+// dispatcher-level equivalent of Link.Replace: packets between event-loop
+// callbacks see either the old or the new program, never a hole.
 func (disp *dispatcher) install(app *App, prog *ebpf.Program) error {
 	if len(app.Ports) == 0 {
 		return fmt.Errorf("syrupd: app %d owns no ports", app.ID)
@@ -119,5 +137,27 @@ func (disp *dispatcher) install(app *App, prog *ebpf.Program) error {
 			return err
 		}
 	}
+	target := fmt.Sprintf("%s[slot %d]", disp.rootLink.Point().Name(), slot)
+	app.recordSlot(disp.hook, target, disp, slot, prog)
 	return nil
+}
+
+// remove tears an app out of the dispatcher: its PROG_ARRAY slot clears
+// (the root's tail call then misses and PASSes) and its port entries
+// disappear. The root stays attached, so other tenants are untouched.
+func (disp *dispatcher) remove(app *App) {
+	slot, ok := disp.slotOf[app.ID]
+	if !ok {
+		return
+	}
+	if err := disp.progArray.UpdateProg(slot, nil); err != nil {
+		panic(err) // unreachable: slot index was validated at install
+	}
+	for _, port := range app.Ports {
+		var key [4]byte
+		binary.LittleEndian.PutUint32(key[:], uint32(port))
+		_ = disp.portMap.Delete(key[:]) // absent entries are fine
+	}
+	delete(disp.slotOf, app.ID)
+	// Slot indices are not reused; 64 slots outlast any simulated run.
 }

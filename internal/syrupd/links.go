@@ -1,0 +1,164 @@
+package syrupd
+
+import (
+	"fmt"
+	"sort"
+
+	"syrup/internal/ebpf"
+	"syrup/internal/hook"
+)
+
+// AppLink is syrupd's record of one live deployment — the daemon-side
+// bpf_link. Direct attachments (Socket Select groups, the storage submit
+// hook, thread policies) wrap the layer's hook.Link, so detaching and
+// live-replacing go through the framework. Device-wide hooks (XDP, CPU
+// Redirect, offload) instead wrap a slot in the hook's isolation
+// dispatcher: the trusted root program stays attached and the app owns a
+// PROG_ARRAY entry, so revocation clears the slot and the root PASSes.
+type AppLink struct {
+	App    uint32
+	Hook   Hook
+	Target string // hook point instance name ("socket_select:9000", "xdp", ...)
+
+	app *App
+
+	// Direct attachment.
+	link *hook.Link
+
+	// Dispatcher-slot deployment.
+	disp *dispatcher
+	slot uint32
+	prog *ebpf.Program
+	// priorRuns accumulates run counts of earlier program generations in
+	// the slot, so Runs survives redeploys like hook.Link stats do.
+	priorRuns uint64
+}
+
+// Label names the running program (or userspace policy) generation.
+func (l *AppLink) Label() string {
+	if l.link != nil {
+		return l.link.Label()
+	}
+	if l.prog != nil {
+		return l.prog.Name()
+	}
+	return ""
+}
+
+// Runs reports how many times this deployment's program ran. For
+// dispatcher slots the tail-called program counts its own runs, so the
+// number is per-tenant even though the hook point belongs to the root.
+func (l *AppLink) Runs() uint64 {
+	if l.link != nil {
+		return l.link.Stats().Runs
+	}
+	if l.prog != nil {
+		return l.priorRuns + l.prog.Stats().Runs
+	}
+	return l.priorRuns
+}
+
+// Faults reports runtime faults attributed to this deployment. Faults in
+// tail-called dispatcher programs surface on the root's hook point and
+// cannot be attributed per-tenant, so dispatcher links report 0.
+func (l *AppLink) Faults() uint64 {
+	if l.link != nil {
+		return l.link.Stats().Faults
+	}
+	return 0
+}
+
+// detach tears the deployment down: direct links detach from their hook
+// point; dispatcher slots are cleared (the root then PASSes the tenant's
+// packets to the default path).
+func (l *AppLink) detach() {
+	if l.link != nil {
+		l.link.Detach()
+		return
+	}
+	if l.disp != nil {
+		l.disp.remove(l.app)
+	}
+}
+
+// recordDirect upserts the app's AppLink for a direct hook-point
+// attachment. Redeploys go through hook.Link.Replace and keep the link
+// identity, so the existing record just tracks the current link.
+func (app *App) recordDirect(hk Hook, pt *hook.Point) {
+	for _, al := range app.links {
+		if al.Target == pt.Name() {
+			al.link = pt.Link()
+			return
+		}
+	}
+	app.links = append(app.links, &AppLink{
+		App: app.ID, Hook: hk, Target: pt.Name(), app: app, link: pt.Link(),
+	})
+}
+
+// recordSlot upserts the app's AppLink for a dispatcher-slot deployment.
+func (app *App) recordSlot(hk Hook, target string, disp *dispatcher, slot uint32, prog *ebpf.Program) {
+	for _, al := range app.links {
+		if al.disp == disp {
+			if al.prog != nil && al.prog != prog {
+				al.priorRuns += al.prog.Stats().Runs
+			}
+			al.prog, al.slot = prog, slot
+			return
+		}
+	}
+	app.links = append(app.links, &AppLink{
+		App: app.ID, Hook: hk, Target: target, app: app,
+		disp: disp, slot: slot, prog: prog,
+	})
+}
+
+// Links enumerates the app's live deployments.
+func (a *App) Links() []*AppLink { return a.links }
+
+// LinkInfo is the wire form of one live attachment (the links op).
+type LinkInfo struct {
+	App     uint32 `json:"app"`
+	Hook    string `json:"hook"`
+	Target  string `json:"target"`
+	Program string `json:"program"`
+	Runs    uint64 `json:"runs"`
+	Faults  uint64 `json:"faults"`
+}
+
+// Links enumerates every live deployment across all apps, ordered by app
+// id then deployment order (deterministic for tests and tooling).
+func (d *Daemon) Links() []LinkInfo {
+	ids := make([]uint32, 0, len(d.apps))
+	for id := range d.apps {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var out []LinkInfo
+	for _, id := range ids {
+		for _, al := range d.apps[id].links {
+			out = append(out, LinkInfo{
+				App: al.App, Hook: string(al.Hook), Target: al.Target,
+				Program: al.Label(), Runs: al.Runs(), Faults: al.Faults(),
+			})
+		}
+	}
+	return out
+}
+
+// RevokeApp tears down every one of the app's deployments across all
+// layers: direct links detach (the layer falls back to its default —
+// hash reuseport, LBA striping, an idle enclave) and dispatcher slots
+// clear (the root dispatcher PASSes the app's packets to RSS). The app
+// stays registered; it can redeploy later.
+func (d *Daemon) RevokeApp(id uint32) error {
+	app, ok := d.apps[id]
+	if !ok {
+		return fmt.Errorf("syrupd: unknown app %d", id)
+	}
+	for _, al := range app.links {
+		al.detach()
+	}
+	app.links = nil
+	return nil
+}

@@ -18,7 +18,7 @@ import (
 
 // Request is one client command.
 type Request struct {
-	Op string `json:"op"` // register_app | deploy | map_lookup | map_update | list_policies | stats
+	Op string `json:"op"` // register_app | deploy | revoke_app | links | map_lookup | map_update | list_policies | stats
 
 	// register_app
 	App   uint32   `json:"app,omitempty"`
@@ -52,6 +52,9 @@ type Response struct {
 
 	// list_policies
 	Policies []string `json:"policies,omitempty"`
+
+	// links
+	Links []LinkInfo `json:"links,omitempty"`
 
 	// stats
 	Stats map[string]float64 `json:"stats,omitempty"`
@@ -160,6 +163,23 @@ func (s *Server) Handle(req *Request) Response {
 			return errResp(err)
 		}
 		return Response{OK: true, Instructions: res.Program.Len(), SourceLines: res.SourceLines}
+	case "revoke_app":
+		if err := s.d.RevokeApp(req.App); err != nil {
+			return errResp(err)
+		}
+		return Response{OK: true}
+	case "links":
+		links := s.d.Links()
+		if req.App != 0 {
+			filtered := links[:0]
+			for _, l := range links {
+				if l.App == req.App {
+					filtered = append(filtered, l)
+				}
+			}
+			links = filtered
+		}
+		return Response{OK: true, Links: links}
 	case "map_lookup":
 		m, err := s.d.OpenMap(req.Path, req.UID, false)
 		if err != nil {

@@ -85,6 +85,58 @@ func TestServerHandleInProcess(t *testing.T) {
 	}
 }
 
+func TestServerLinksAndRevokeOps(t *testing.T) {
+	h := newHost(t, 1, 0)
+	srv := NewServer(h.d)
+	srv.Handle(&Request{Op: "register_app", App: 1, UID: 1000, Ports: []uint16{9000}})
+	srv.Handle(&Request{Op: "register_app", App: 2, UID: 1001, Ports: []uint16{9001}})
+	s, _ := h.stack.NewUDPSocket(9000, 1, "w")
+	h.stack.NewUDPSocket(9001, 2, "w")
+	if resp := srv.Handle(&Request{Op: "deploy", App: 1, Hook: "socket_select", Source: "r0 = 0\nexit\n"}); !resp.OK {
+		t.Fatalf("deploy: %+v", resp)
+	}
+	if resp := srv.Handle(&Request{Op: "deploy", App: 2, Hook: "xdp_skb", Source: "r0 = PASS\nexit\n"}); !resp.OK {
+		t.Fatalf("deploy: %+v", resp)
+	}
+	for i := 0; i < 3; i++ {
+		h.dev.Receive(pkt(uint64(i), 1, 9000, nil))
+	}
+	h.eng.Run()
+	if s.Len() != 3 {
+		t.Fatalf("delivered %d", s.Len())
+	}
+
+	resp := srv.Handle(&Request{Op: "links"})
+	if !resp.OK || len(resp.Links) != 2 {
+		t.Fatalf("links: %+v", resp)
+	}
+	if li := resp.Links[0]; li.App != 1 || li.Hook != "socket_select" || li.Runs != 3 {
+		t.Fatalf("link[0]: %+v", li)
+	}
+	// Filter by app.
+	resp = srv.Handle(&Request{Op: "links", App: 2})
+	if len(resp.Links) != 1 || resp.Links[0].App != 2 {
+		t.Fatalf("filtered links: %+v", resp)
+	}
+
+	// Per-hook run counters surface in the stats op via the metrics fold.
+	stats := srv.Handle(&Request{Op: "stats"}).Stats
+	if stats["ebpf_hook_runs_socket_select_9000"] < 3 {
+		t.Fatalf("per-hook run counter missing from stats: %v", stats)
+	}
+
+	if resp := srv.Handle(&Request{Op: "revoke_app", App: 1}); !resp.OK {
+		t.Fatalf("revoke: %+v", resp)
+	}
+	if resp := srv.Handle(&Request{Op: "revoke_app", App: 9}); resp.OK {
+		t.Fatal("revoking unknown app accepted")
+	}
+	resp = srv.Handle(&Request{Op: "links"})
+	if len(resp.Links) != 1 || resp.Links[0].App != 2 {
+		t.Fatalf("links after revoke: %+v", resp)
+	}
+}
+
 func TestServerOverUnixSocket(t *testing.T) {
 	h := newHost(t, 1, 0)
 	h.d.RegisterApp(1, 1000, 9000)

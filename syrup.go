@@ -22,11 +22,13 @@ import (
 
 	"syrup/internal/ebpf"
 	"syrup/internal/ghost"
+	"syrup/internal/hook"
 	"syrup/internal/kernel"
 	"syrup/internal/netstack"
 	"syrup/internal/nic"
 	"syrup/internal/policy"
 	"syrup/internal/sim"
+	"syrup/internal/storage"
 	"syrup/internal/syrupd"
 )
 
@@ -41,7 +43,12 @@ const (
 	HookXDPSkb       = syrupd.HookXDPSkb
 	HookXDPOffload   = syrupd.HookXDPOffload
 	HookThreadSched  = syrupd.HookThreadSched
+	HookStorage      = syrupd.HookStorage
 )
+
+// Hooks describes every registered hook point (Fig. 4 order); the README's
+// hook table is generated from the same registry.
+func Hooks() []hook.Info { return hook.Hooks() }
 
 // Time is a virtual-time instant/duration in nanoseconds.
 type Time = sim.Time
@@ -115,6 +122,11 @@ func NewHost(cfg HostConfig) *Host {
 	}
 }
 
+// AttachStorage puts a storage device under syrupd's management so apps
+// can deploy to HookStorage (the §6.1 extension of the matching
+// abstraction to IO scheduling).
+func (h *Host) AttachStorage(dev *storage.Device) { h.Daemon.AttachStorage(dev) }
+
 // Run advances virtual time until the event queue drains.
 func (h *Host) Run() { h.Eng.Run() }
 
@@ -144,6 +156,24 @@ func (h *Host) RegisterApp(id, uid uint32, ports ...uint16) (*App, error) {
 
 // ID returns the application id.
 func (a *App) ID() uint32 { return a.id }
+
+// Revoke tears down every one of the app's deployments across all layers
+// (Daemon.RevokeApp): each hook falls back to its default path — RSS,
+// hash-based reuseport selection, LBA striping — and the app may later
+// redeploy.
+func (a *App) Revoke() error { return a.host.Daemon.RevokeApp(a.id) }
+
+// Links enumerates the app's live deployments with per-deployment run and
+// fault counts.
+func (a *App) Links() []syrupd.LinkInfo {
+	var out []syrupd.LinkInfo
+	for _, l := range a.host.Daemon.Links() {
+		if l.App == a.id {
+			out = append(out, l)
+		}
+	}
+	return out
+}
 
 // Deployment describes a deployed policy.
 type Deployment struct {

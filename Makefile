@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race lint-hooks check bench bench-dispatch fuzz clean
+.PHONY: build test vet race lint-hooks check bench bench-dispatch bench-engine fuzz clean
 
 build:
 	$(GO) build ./...
@@ -38,6 +38,14 @@ bench:
 # pooling"): the map-heavy shape must hold >=2x and 0 allocs/op compiled.
 bench-dispatch:
 	$(GO) test ./internal/ebpf/ -run '^$$' -bench BenchmarkDispatch -benchmem
+
+# Timer-wheel event-engine core (see DESIGN.md "Event engine internals"):
+# steady-state schedule+fire, cancel-heavy, and ticker re-arm shapes. The
+# steady state must hold >=2x over the old container/heap core with
+# 0 allocs/op; the alloc floor is gated in `make check` by
+# TestZeroAllocSteadyState / TestZeroAllocTicker in internal/sim.
+bench-engine:
+	$(GO) test ./internal/sim/ -run '^$$' -bench BenchmarkEngine -benchmem
 
 # Extended differential fuzzing of the compiled dispatch path against the
 # interpreter oracle (the seed corpus already runs under plain `go test`).

@@ -10,6 +10,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"syrup/internal/experiments"
@@ -19,6 +21,8 @@ func main() {
 	fast := flag.Bool("fast", false, "use short measurement windows (quick, noisier)")
 	points := flag.Int("points", 0, "override number of load points per series")
 	seeds := flag.Int("seeds", 0, "override seeds per point (fig2/fig6)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to `file`")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to `file` at exit")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: syrup-bench [flags] fig2|fig6|fig7|fig8|fig9a|fig9b|table2|table3|ablation-late|ablation-rfs|all\n")
 		flag.PrintDefaults()
@@ -32,6 +36,37 @@ func main() {
 	windows := experiments.DefaultWindows
 	if *fast {
 		windows = experiments.FastWindows
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				os.Exit(1)
+			}
+		}()
 	}
 
 	run := func(name string) {

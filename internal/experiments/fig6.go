@@ -51,9 +51,10 @@ func Fig6(cfg Fig6Config) *Result {
 	}
 	for _, s := range series {
 		s := s
-		rows := sweep(cfg.Loads, func(load float64) Row {
-			var p99s, drops []float64
-			for seed := 0; seed < cfg.Seeds; seed++ {
+		// Every (load, seed) pair is an independent simulation; fan them
+		// all out and aggregate per load in seed order.
+		rows := sweepSeeded(cfg.Loads, cfg.Seeds,
+			func(load float64, seed int) [2]float64 {
 				r := runRocksPoint(rocksPoint{
 					Seed:       uint64(2000*seed + 11),
 					Load:       load,
@@ -65,15 +66,20 @@ func Fig6(cfg Fig6Config) *Result {
 					Policy:     s.pol,
 					Windows:    cfg.Windows,
 				})
-				p99s = append(p99s, float64(r.All.Latency.Percentile(99))/1000)
-				drops = append(drops, 100*r.All.DropFraction())
-			}
-			p99, sd := meanStdev(p99s)
-			drop, _ := meanStdev(drops)
-			return Row{X: load, Cols: map[string]float64{
-				"p99_us": p99, "p99_stdev_us": sd, "drop_pct": drop,
-			}}
-		})
+				return [2]float64{float64(r.All.Latency.Percentile(99)) / 1000, 100 * r.All.DropFraction()}
+			},
+			func(load float64, samples [][2]float64) Row {
+				var p99s, drops []float64
+				for _, s := range samples {
+					p99s = append(p99s, s[0])
+					drops = append(drops, s[1])
+				}
+				p99, sd := meanStdev(p99s)
+				drop, _ := meanStdev(drops)
+				return Row{X: load, Cols: map[string]float64{
+					"p99_us": p99, "p99_stdev_us": sd, "drop_pct": drop,
+				}}
+			})
 		res.Series = append(res.Series, Series{Name: s.name, Rows: rows})
 	}
 	return res

@@ -41,7 +41,7 @@ func Fig8(cfg Fig8Config) *Result {
 			"the vanilla Linux baseline is omitted as in the paper (latency off the chart)",
 		},
 	}
-	for _, s := range []struct {
+	series := []struct {
 		name        string
 		pol         SocketPolicy
 		threadSched bool
@@ -49,30 +49,33 @@ func Fig8(cfg Fig8Config) *Result {
 		{"SCAN Avoid", PolicyScanAvoid, false},
 		{"Thread Scheduling", PolicyVanilla, true},
 		{"SCAN Avoid + Thread Scheduling", PolicyScanAvoid, true},
-	} {
-		s := s
-		rows := sweep(cfg.Loads, func(load float64) Row {
-			r := runRocksPoint(rocksPoint{
-				Seed:        47,
-				Load:        load,
-				NumCPUs:     6,
-				NumThreads:  36,
-				PinToCores:  false, // CFS/ghOSt place threads
-				Classes:     fig8Mix,
-				Policy:      s.pol,
-				ThreadSched: s.threadSched,
-				Windows:     cfg.Windows,
-			})
-			get := r.PerClass["GET"]
-			scan := r.PerClass["SCAN"]
-			return Row{X: load, Cols: map[string]float64{
-				"get_p99_us":    float64(get.Latency.Percentile(99)) / 1000,
-				"scan_p99_us":   float64(scan.Latency.Percentile(99)) / 1000,
-				"get_drop_pct":  100 * get.DropFraction(),
-				"scan_drop_pct": 100 * scan.DropFraction(),
-			}}
+	}
+	// Fan out every (series, load) pair in one worker pool so a slow
+	// series does not serialize behind the others.
+	grid := sweepGrid(len(series), cfg.Loads, func(si int, load float64) Row {
+		s := series[si]
+		r := runRocksPoint(rocksPoint{
+			Seed:        47,
+			Load:        load,
+			NumCPUs:     6,
+			NumThreads:  36,
+			PinToCores:  false, // CFS/ghOSt place threads
+			Classes:     fig8Mix,
+			Policy:      s.pol,
+			ThreadSched: s.threadSched,
+			Windows:     cfg.Windows,
 		})
-		res.Series = append(res.Series, Series{Name: s.name, Rows: rows})
+		get := r.PerClass["GET"]
+		scan := r.PerClass["SCAN"]
+		return Row{X: load, Cols: map[string]float64{
+			"get_p99_us":    float64(get.Latency.Percentile(99)) / 1000,
+			"scan_p99_us":   float64(scan.Latency.Percentile(99)) / 1000,
+			"get_drop_pct":  100 * get.DropFraction(),
+			"scan_drop_pct": 100 * scan.DropFraction(),
+		}}
+	})
+	for si, s := range series {
+		res.Series = append(res.Series, Series{Name: s.name, Rows: grid[si]})
 	}
 	return res
 }

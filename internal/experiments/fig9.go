@@ -118,20 +118,22 @@ func Fig9(cfg Fig9Config) *Result {
 			"generic-mode AF_XDP (no zero copy), matching the Netronome's capabilities in §5.4",
 		},
 	}
-	for _, mode := range []mica.Mode{mica.ModeSWRedirect, mica.ModeSyrupSW, mica.ModeSyrupHW} {
-		mode := mode
-		rows := sweep(cfg.Loads, func(load float64) Row {
-			r := runMicaPoint(micaPoint{
-				Seed: 53, Load: load, Mode: mode, GetFrac: cfg.GetFrac,
-				Windows: cfg.Windows,
-			})
-			return Row{X: load, Cols: map[string]float64{
-				"p999_us":  float64(r.All.Latency.Percentile(99.9)) / 1000,
-				"p99_us":   float64(r.All.Latency.Percentile(99)) / 1000,
-				"drop_pct": 100 * r.All.DropFraction(),
-			}}
+	modes := []mica.Mode{mica.ModeSWRedirect, mica.ModeSyrupSW, mica.ModeSyrupHW}
+	// Fan out every (mode, load) pair in one worker pool so a slow mode
+	// does not serialize behind the others.
+	grid := sweepGrid(len(modes), cfg.Loads, func(si int, load float64) Row {
+		r := runMicaPoint(micaPoint{
+			Seed: 53, Load: load, Mode: modes[si], GetFrac: cfg.GetFrac,
+			Windows: cfg.Windows,
 		})
-		res.Series = append(res.Series, Series{Name: mode.String(), Rows: rows})
+		return Row{X: load, Cols: map[string]float64{
+			"p999_us":  float64(r.All.Latency.Percentile(99.9)) / 1000,
+			"p99_us":   float64(r.All.Latency.Percentile(99)) / 1000,
+			"drop_pct": 100 * r.All.DropFraction(),
+		}}
+	})
+	for si, mode := range modes {
+		res.Series = append(res.Series, Series{Name: mode.String(), Rows: grid[si]})
 	}
 	return res
 }

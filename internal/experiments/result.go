@@ -102,24 +102,63 @@ func (r *Result) Col(series string, x float64, col string) float64 {
 	return v
 }
 
-// sweep evaluates fn at every load in parallel (each point owns a private
-// simulation), preserving order.
-func sweep(loads []float64, fn func(load float64) Row) []Row {
-	rows := make([]Row, len(loads))
+// parallelDo runs fn(0..n-1) across at most NumCPU workers and waits for
+// all of them. Results are communicated through index-addressed slices, so
+// aggregation order is deterministic regardless of completion order.
+func parallelDo(n int, fn func(i int)) {
 	sem := make(chan struct{}, runtime.NumCPU())
 	var wg sync.WaitGroup
-	for i, load := range loads {
-		i, load := i, load
+	for i := 0; i < n; i++ {
+		i := i
 		wg.Add(1)
 		sem <- struct{}{}
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			rows[i] = fn(load)
+			fn(i)
 		}()
 	}
 	wg.Wait()
+}
+
+// sweep evaluates fn at every load in parallel (each point owns a private
+// simulation), preserving order.
+func sweep(loads []float64, fn func(load float64) Row) []Row {
+	rows := make([]Row, len(loads))
+	parallelDo(len(loads), func(i int) { rows[i] = fn(loads[i]) })
 	sort.Slice(rows, func(i, j int) bool { return rows[i].X < rows[j].X })
+	return rows
+}
+
+// sweepSeeded fans out every (load, seed) pair — not just loads — so
+// multi-seed figures use all cores even with few load points. point runs
+// one seeded simulation; reduce sees each load's samples in ascending seed
+// order (deterministic aggregation), and rows come back in input load
+// order.
+func sweepSeeded[T any](loads []float64, seeds int, point func(load float64, seed int) T, reduce func(load float64, samples []T) Row) []Row {
+	samples := make([]T, len(loads)*seeds)
+	parallelDo(len(samples), func(i int) {
+		samples[i] = point(loads[i/seeds], i%seeds)
+	})
+	rows := make([]Row, len(loads))
+	for li, load := range loads {
+		rows[li] = reduce(load, samples[li*seeds:(li+1)*seeds])
+	}
+	return rows
+}
+
+// sweepGrid fans out every (series, load) pair of a multi-series figure in
+// one pool, so one slow series does not serialize behind another. Rows per
+// series come back in input load order.
+func sweepGrid(nSeries int, loads []float64, fn func(si int, load float64) Row) [][]Row {
+	rows := make([][]Row, nSeries)
+	for si := range rows {
+		rows[si] = make([]Row, len(loads))
+	}
+	parallelDo(nSeries*len(loads), func(i int) {
+		si, li := i/len(loads), i%len(loads)
+		rows[si][li] = fn(si, loads[li])
+	})
 	return rows
 }
 

@@ -128,9 +128,21 @@ type Agent struct {
 	workers  []kernel.CPUID
 
 	queue    []Message
+	inflight []Message // batch being charged on the agent core (double buffer)
 	busy     bool
 	threads  map[*kernel.Thread]bool
 	runnable map[*kernel.Thread]bool
+
+	// Stored closure-free callbacks for the agent's event hot paths. The
+	// single-outstanding-batch invariant (busy) makes one inflight buffer
+	// sufficient; commits carry an absolute index into commitQ because
+	// commits from consecutive batches interleave in time, so a FIFO pop
+	// would pair delays with the wrong placements.
+	batchCB   sim.Callback
+	kickCB    sim.Callback
+	commitCB  sim.Callback
+	commitQ   []Placement
+	commitOut int // in-flight commit events against commitQ
 
 	// Stats.
 	Messages uint64
@@ -158,6 +170,37 @@ func NewAgent(m *kernel.Machine, app uint32, policy Policy, agentCPU kernel.CPUI
 	m.CPU(agentCPU).Reserve(fmt.Sprintf("ghost-agent-app%d", app))
 	for _, w := range workers {
 		m.CPU(w).Reserve(fmt.Sprintf("ghost-enclave-app%d", app))
+	}
+	a.batchCB = func(any, uint64) {
+		for _, msg := range a.inflight {
+			a.Messages++
+			switch msg.Type {
+			case MsgThreadCreated:
+				// Created threads start blocked; nothing to do yet.
+			case MsgThreadWakeup, MsgThreadYield, MsgThreadPreempted:
+				a.runnable[msg.Thread] = true
+			case MsgThreadBlocked, MsgThreadDead:
+				delete(a.runnable, msg.Thread)
+			}
+		}
+		a.inflight = a.inflight[:0]
+		a.invokePolicy()
+		a.busy = false
+		a.maybeRun()
+	}
+	a.kickCB = func(any, uint64) {
+		a.invokePolicy()
+		a.busy = false
+		a.maybeRun()
+	}
+	a.commitCB = func(_ any, u uint64) {
+		pl := a.commitQ[u]
+		a.commitQ[u] = Placement{}
+		a.commitOut--
+		if a.commitOut == 0 {
+			a.commitQ = a.commitQ[:0]
+		}
+		a.commit(pl)
 	}
 	return a
 }
@@ -208,25 +251,11 @@ func (a *Agent) maybeRun() {
 		return
 	}
 	a.busy = true
-	batch := a.queue
-	a.queue = nil
-	cost := a.cfg.PerMessageCost * sim.Time(len(batch))
-	a.eng.After(cost, func() {
-		for _, msg := range batch {
-			a.Messages++
-			switch msg.Type {
-			case MsgThreadCreated:
-				// Created threads start blocked; nothing to do yet.
-			case MsgThreadWakeup, MsgThreadYield, MsgThreadPreempted:
-				a.runnable[msg.Thread] = true
-			case MsgThreadBlocked, MsgThreadDead:
-				delete(a.runnable, msg.Thread)
-			}
-		}
-		a.invokePolicy()
-		a.busy = false
-		a.maybeRun()
-	})
+	// Swap the queue and the (drained) inflight buffer: the batch keeps its
+	// backing array for reuse, and new messages accumulate in the other.
+	a.inflight, a.queue = a.queue, a.inflight[:0]
+	cost := a.cfg.PerMessageCost * sim.Time(len(a.inflight))
+	a.eng.CallAfter(cost, a.batchCB, nil, 0)
 }
 
 func (a *Agent) invokePolicy() {
@@ -253,7 +282,6 @@ func (a *Agent) invokePolicy() {
 	placements := policy.Schedule(a.eng.Now(), runnable, cpus)
 	var commitDelay sim.Time
 	for _, pl := range placements {
-		pl := pl
 		if !a.runnable[pl.Thread] {
 			panic(fmt.Sprintf("ghost: policy placed non-runnable thread %q", pl.Thread.Name))
 		}
@@ -263,8 +291,9 @@ func (a *Agent) invokePolicy() {
 		delete(a.runnable, pl.Thread) // leaves the runnable set while placed
 		commitDelay += a.cfg.CommitCost
 		a.Commits++
-		d := commitDelay
-		a.eng.After(d, func() { a.commit(pl) })
+		a.commitQ = append(a.commitQ, pl)
+		a.commitOut++
+		a.eng.CallAfter(commitDelay, a.commitCB, nil, uint64(len(a.commitQ)-1))
 	}
 }
 
@@ -310,11 +339,7 @@ func (a *Agent) kickPolicy() {
 		return
 	}
 	a.busy = true
-	a.eng.After(a.cfg.PerMessageCost, func() {
-		a.invokePolicy()
-		a.busy = false
-		a.maybeRun()
-	})
+	a.eng.CallAfter(a.cfg.PerMessageCost, a.kickCB, nil, 0)
 }
 
 // Hook exposes the agent's Thread Scheduler hook point; syrupd replaces

@@ -76,11 +76,35 @@ type CFS struct {
 	m      *Machine
 	cfg    CFSConfig
 	queues []cfsQueue
+
+	// sliceCB is the stored timeslice-expiry callback (arg = *CPU, u =
+	// thread ID), shared by every armSliceTimer so the per-dispatch hot
+	// path schedules on a pooled timer without allocating.
+	sliceCB sim.Callback
 }
 
 func newCFS(m *Machine, cfg CFSConfig) *CFS {
 	cfg.fill()
-	return &CFS{m: m, cfg: cfg, queues: make([]cfsQueue, len(m.cpus))}
+	s := &CFS{m: m, cfg: cfg, queues: make([]cfsQueue, len(m.cpus))}
+	s.sliceCB = func(arg any, u uint64) {
+		c := arg.(*CPU)
+		c.sliceTimer = sim.Timer{}
+		t := c.curr
+		// Thread IDs are unique, so an ID match means the timer's thread
+		// is still the one on the core.
+		if t == nil || uint64(t.ID) != u || t.state != ThreadRunning {
+			return
+		}
+		if s.queues[c.id].Len() == 0 {
+			// Nothing to switch to; extend.
+			s.armSliceTimer(c, t)
+			return
+		}
+		t.preempt()
+		heap.Push(&s.queues[c.id], t)
+		s.dispatch(c)
+	}
+	return s
 }
 
 // QueueLen reports the runqueue depth of cpu (for tests and stats).
@@ -220,18 +244,5 @@ func (s *CFS) armSliceTimer(c *CPU, t *Thread) {
 	if slice < s.cfg.MinGranularity {
 		slice = s.cfg.MinGranularity
 	}
-	c.sliceTimer = s.m.Eng.After(slice, func() {
-		c.sliceTimer = nil
-		if c.curr != t || t.state != ThreadRunning {
-			return
-		}
-		if s.queues[c.id].Len() == 0 {
-			// Nothing to switch to; extend.
-			s.armSliceTimer(c, t)
-			return
-		}
-		t.preempt()
-		heap.Push(&s.queues[c.id], t)
-		s.dispatch(c)
-	})
+	c.sliceTimer = s.m.Eng.TimerAfter(slice, s.sliceCB, c, uint64(t.ID))
 }

@@ -112,7 +112,7 @@ type CPU struct {
 	// the CFS class schedules it.
 	reservedBy string
 
-	sliceTimer *sim.Event
+	sliceTimer sim.Timer
 
 	// Stats.
 	BusyTime  sim.Time
@@ -168,37 +168,17 @@ func (c *CPU) StartThread(t *Thread, extra sim.Time) {
 		// Resume a preempted burst after the switch cost. (A burst whose
 		// completion coincided with the preemption resumes with zero
 		// remaining work and completes immediately after the switch.)
-		t.burstEv = c.m.Eng.After(cost+t.remaining, func() {
-			t.burstEv = nil
-			t.remaining = 0
-			done := t.burstDone
-			t.burstDone = nil
-			if done == nil {
-				panic(fmt.Sprintf("kernel: thread %q resumed burst without continuation", t.Name))
-			}
-			done()
-			if t.state == ThreadRunning && t.burstEv == nil {
-				panic(fmt.Sprintf("kernel: thread %q continuation neither blocked nor ran", t.Name))
-			}
-		})
+		t.burstEv = c.m.Eng.TimerAfter(cost+t.remaining, burstDoneCB, t, 0)
 		return
 	}
 	if t.cont == nil {
 		panic(fmt.Sprintf("kernel: thread %q dispatched with no continuation", t.Name))
 	}
 	// The continuation itself runs after the switch completes. The guard
-	// event keeps the thread marked running meanwhile; the continuation
+	// timer keeps the thread marked running meanwhile; the continuation
 	// stays on the thread until it actually fires so a preemption during
 	// the switch window does not lose it.
-	t.burstEv = c.m.Eng.After(cost, func() {
-		t.burstEv = nil
-		cont := t.cont
-		t.cont = nil
-		cont()
-		if t.state == ThreadRunning && t.burstEv == nil {
-			panic(fmt.Sprintf("kernel: thread %q continuation neither blocked nor ran", t.Name))
-		}
-	})
+	t.burstEv = c.m.Eng.TimerAfter(cost, contGuardCB, t, 0)
 }
 
 // PreemptCurrent forcibly removes the running thread (runnable afterwards)
@@ -213,8 +193,8 @@ func (c *CPU) PreemptCurrent() *Thread {
 }
 
 func (c *CPU) cancelSliceTimer() {
-	if c.sliceTimer != nil {
-		c.m.Eng.Cancel(c.sliceTimer)
-		c.sliceTimer = nil
+	if c.sliceTimer.Active() {
+		c.m.Eng.CancelTimer(c.sliceTimer)
 	}
+	c.sliceTimer = sim.Timer{}
 }

@@ -62,8 +62,9 @@ type Thread struct {
 	remaining sim.Time
 	// burstDone runs when the current burst completes.
 	burstDone func()
-	// burstEv is the pending completion event while running.
-	burstEv *sim.Event
+	// burstEv is the pending completion timer while running (a pooled,
+	// generation-checked handle; the zero Timer means no pending burst).
+	burstEv sim.Timer
 
 	// CFS accounting.
 	vruntime     sim.Time
@@ -118,24 +119,43 @@ func (t *Thread) Exec(d sim.Time, then func()) {
 	t.armBurst()
 }
 
-// armBurst schedules the completion of the in-progress burst.
+// armBurst schedules the completion of the in-progress burst on a pooled
+// timer (burstDoneCB; no per-burst closure).
 func (t *Thread) armBurst() {
-	eng := t.m.Eng
-	t.burstEv = eng.After(t.remaining, func() {
-		t.burstEv = nil
-		t.remaining = 0
-		done := t.burstDone
-		t.burstDone = nil
-		if done == nil {
-			panic(fmt.Sprintf("kernel: thread %q burst completed with no continuation", t.Name))
-		}
-		done()
-		// The continuation must have either started a new burst, blocked,
-		// yielded, or exited. Anything else leaves the CPU wedged.
-		if t.state == ThreadRunning && t.burstEv == nil {
-			panic(fmt.Sprintf("kernel: thread %q continuation neither blocked nor ran", t.Name))
-		}
-	})
+	t.burstEv = t.m.Eng.TimerAfter(t.remaining, burstDoneCB, t, 0)
+}
+
+// burstDoneCB completes a thread's in-progress burst (arg = *Thread). One
+// stored callback serves both fresh bursts (armBurst) and resumed ones
+// (CPU.StartThread).
+var burstDoneCB sim.Callback = func(arg any, _ uint64) {
+	t := arg.(*Thread)
+	t.burstEv = sim.Timer{}
+	t.remaining = 0
+	done := t.burstDone
+	t.burstDone = nil
+	if done == nil {
+		panic(fmt.Sprintf("kernel: thread %q burst completed with no continuation", t.Name))
+	}
+	done()
+	// The continuation must have either started a new burst, blocked,
+	// yielded, or exited. Anything else leaves the CPU wedged.
+	if t.state == ThreadRunning && t.burstEv == (sim.Timer{}) {
+		panic(fmt.Sprintf("kernel: thread %q continuation neither blocked nor ran", t.Name))
+	}
+}
+
+// contGuardCB fires once the context-switch window elapses and runs the
+// thread's stored continuation (arg = *Thread).
+var contGuardCB sim.Callback = func(arg any, _ uint64) {
+	t := arg.(*Thread)
+	t.burstEv = sim.Timer{}
+	cont := t.cont
+	t.cont = nil
+	cont()
+	if t.state == ThreadRunning && t.burstEv == (sim.Timer{}) {
+		panic(fmt.Sprintf("kernel: thread %q continuation neither blocked nor ran", t.Name))
+	}
 }
 
 // Block transitions the running thread to Blocked and releases its CPU.
@@ -191,16 +211,16 @@ func (t *Thread) Wake() {
 func (t *Thread) detach() *CPU {
 	cpu := t.cpu
 	now := t.m.Eng.Now()
-	if t.burstEv != nil {
+	if t.burstEv.Active() {
 		if now >= t.dispatchedAt {
 			// The burst had started; capture what is left of it.
-			t.remaining = t.burstEv.Time() - now
+			t.remaining = t.burstEv.When() - now
 		}
 		// Otherwise the thread was still context-switching in: its burst
 		// (or pending continuation) is untouched and re-dispatch will
 		// restart the switch.
-		t.m.Eng.Cancel(t.burstEv)
-		t.burstEv = nil
+		t.m.Eng.CancelTimer(t.burstEv)
+		t.burstEv = sim.Timer{}
 	}
 	ran := now - t.dispatchedAt
 	if ran < 0 {

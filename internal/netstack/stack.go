@@ -109,6 +109,12 @@ type Stack struct {
 	// MICA thread per queue).
 	xsks map[uint16][][]*Socket
 
+	// ingressCB / protoCB are the stored closure-free callbacks for the two
+	// per-packet pipeline events (arg = *nic.Packet, u = queue / core), so
+	// Deliver and protocolStage schedule without allocating.
+	ingressCB sim.Callback
+	protoCB   sim.Callback
+
 	Stats Stats
 }
 
@@ -136,6 +142,15 @@ func New(eng *sim.Engine, cfg Config, queues int) *Stack {
 	// explicitly so get_smp_processor_id reads the executing softirq core.
 	s.xdp = hook.NewPoint(hook.XDPDrv, "xdp", s.envs[0])
 	s.cpuRedirect = hook.NewPoint(hook.CPURedirect, string(hook.CPURedirect), s.envs[0])
+	s.ingressCB = func(arg any, u uint64) {
+		queue := int(u)
+		s.cores[queue].backlog--
+		if s.dev != nil {
+			s.dev.Consumed(queue)
+		}
+		s.afterIngress(queue, arg.(*nic.Packet))
+	}
+	s.protoCB = func(arg any, u uint64) { s.protocolDeliver(int(u), arg.(*nic.Packet)) }
 	return s
 }
 
@@ -271,13 +286,7 @@ func (s *Stack) Deliver(queue int, pkt *nic.Packet) {
 	}
 	done := start + cost
 	core.busyUntil = done
-	s.eng.At(done, func() {
-		core.backlog--
-		if s.dev != nil {
-			s.dev.Consumed(queue)
-		}
-		s.afterIngress(queue, pkt)
-	})
+	s.eng.CallAt(done, s.ingressCB, pkt, uint64(queue))
 }
 
 // afterIngress runs once the softirq core has executed the pre-stack stage
@@ -351,37 +360,41 @@ func (s *Stack) protocolStage(core int, pkt *nic.Packet) {
 	}
 	done := start + cost
 	c.busyUntil = done
-	s.eng.At(done, func() {
-		if pkt.TCP {
-			tg, ok := s.tcpGroups[pkt.DstPort]
-			if !ok {
-				s.Stats.NoGroupDrops++
-				return
-			}
-			tg.HandleSegment(pkt, pkt.RSSHash(), s.envs[core])
-			return
-		}
-		g, ok := s.groups[pkt.DstPort]
+	s.eng.CallAt(done, s.protoCB, pkt, uint64(core))
+}
+
+// protocolDeliver runs once the protocol-processing cost has elapsed on
+// core: socket selection and delivery.
+func (s *Stack) protocolDeliver(core int, pkt *nic.Packet) {
+	if pkt.TCP {
+		tg, ok := s.tcpGroups[pkt.DstPort]
 		if !ok {
 			s.Stats.NoGroupDrops++
 			return
 		}
-		sock, res := g.selectSocket(pkt, pkt.RSSHash(), s.envs[core])
-		switch res {
-		case dropped:
-			s.Stats.PolicyDrops++
-		case noExecutor:
-			s.Stats.NoExecutorDrops++
-		case selected:
-			if g.lateBinding {
-				if !g.lateEnqueue(pkt) {
-					s.Stats.SocketDrops++
-				}
-			} else if !sock.Enqueue(pkt) {
+		tg.HandleSegment(pkt, pkt.RSSHash(), s.envs[core])
+		return
+	}
+	g, ok := s.groups[pkt.DstPort]
+	if !ok {
+		s.Stats.NoGroupDrops++
+		return
+	}
+	sock, res := g.selectSocket(pkt, pkt.RSSHash(), s.envs[core])
+	switch res {
+	case dropped:
+		s.Stats.PolicyDrops++
+	case noExecutor:
+		s.Stats.NoExecutorDrops++
+	case selected:
+		if g.lateBinding {
+			if !g.lateEnqueue(pkt) {
 				s.Stats.SocketDrops++
 			}
+		} else if !sock.Enqueue(pkt) {
+			s.Stats.SocketDrops++
 		}
-	})
+	}
 }
 
 // String summarizes stats for debugging.

@@ -143,6 +143,10 @@ type NIC struct {
 	inflight []int
 
 	deliver DeliverFunc
+	// deliverCB is the stored closure-free callback for the per-packet
+	// delivery event (arg = *Packet, u = queue), so Receive schedules
+	// without allocating.
+	deliverCB sim.Callback
 
 	Stats Stats
 }
@@ -152,6 +156,7 @@ type NIC struct {
 func New(eng *sim.Engine, cfg Config, deliver DeliverFunc) *NIC {
 	cfg.fill()
 	n := &NIC{eng: eng, cfg: cfg, deliver: deliver, inflight: make([]int, cfg.Queues)}
+	n.deliverCB = func(arg any, u uint64) { n.deliver(int(u), arg.(*Packet)) }
 	n.rssTable = make([]int, 128)
 	for i := range n.rssTable {
 		n.rssTable[i] = i % cfg.Queues
@@ -220,7 +225,7 @@ func (n *NIC) Receive(pkt *Packet) {
 	}
 	n.inflight[queue]++
 	pkt.Queue = queue
-	n.eng.After(extra, func() { n.deliver(queue, pkt) })
+	n.eng.CallAfter(extra, n.deliverCB, pkt, uint64(queue))
 }
 
 // Consumed tells the NIC the host finished taking a packet off a ring.

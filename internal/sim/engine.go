@@ -1,11 +1,12 @@
 // Package sim provides the deterministic discrete-event engine that
-// underpins the simulated end-host: a virtual clock in nanoseconds, an
-// event heap with stable FIFO ordering for simultaneous events, and a
-// seeded PRNG so that every experiment is exactly reproducible.
+// underpins the simulated end-host: a virtual clock in nanoseconds, a
+// hierarchical timer wheel with stable FIFO ordering for simultaneous
+// events, a free-list event pool with closure-free scheduling for the hot
+// paths, and a seeded PRNG so that every experiment is exactly
+// reproducible.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand/v2"
 )
@@ -29,15 +30,51 @@ func (t Time) Micros() float64 { return float64(t) / 1000.0 }
 // String formats the time as microseconds with nanosecond precision.
 func (t Time) String() string { return fmt.Sprintf("%.3fus", t.Micros()) }
 
+// Callback is a reusable event callback for the closure-free scheduling
+// path: the same stored func is shared by every event a subsystem
+// schedules, with the per-event state carried in (arg, u) instead of a
+// fresh capturing closure.
+type Callback func(arg any, u uint64)
+
+// Event lifecycle states.
+const (
+	statePending uint8 = iota
+	stateFired
+	stateCanceled
+	stateFree // recycled into the pool; gen has been bumped
+)
+
+// Where a pending event currently lives (for O(1) cancel).
+const (
+	locNone uint8 = iota
+	locBucket
+	locReady
+	locOverflow
+)
+
 // Event is a scheduled callback. Holding the value returned by Schedule
 // allows the caller to Cancel the event before it fires (e.g., a preemption
-// canceling a pending burst-completion event).
+// canceling a pending burst-completion event). Events returned by At/After
+// are never pooled, so a held *Event stays valid indefinitely; the pooled
+// CallAt/TimerAt paths hand out no raw *Event (Timer handles are
+// generation-checked instead).
 type Event struct {
-	at    Time
-	seq   uint64 // tie-break: FIFO among simultaneous events
-	index int    // heap index; -1 when not queued
-	fn    func()
-	fired bool
+	at  Time
+	seq uint64 // tie-break: FIFO among simultaneous events
+	gen uint64 // bumped on every pool recycle; validates Timer handles
+	u   uint64
+
+	fn  func()
+	cb  Callback
+	arg any
+
+	prev, next *Event // intrusive bucket chain / free list
+
+	state  uint8
+	loc    uint8
+	level  int8
+	pooled bool
+	slot   int16
 }
 
 // Time reports when the event is (or was) scheduled to fire.
@@ -47,42 +84,36 @@ func (ev *Event) Time() Time { return ev.at }
 // that ran normally is Fired, not Canceled — teardown logic (e.g. hot-swap
 // detach paths) distinguishes "this work was revoked" from "this work
 // already happened".
-func (ev *Event) Canceled() bool { return ev.fn == nil && !ev.fired }
+func (ev *Event) Canceled() bool { return ev.state == stateCanceled }
 
 // Fired reports whether the event's callback has executed.
-func (ev *Event) Fired() bool { return ev.fired }
+func (ev *Event) Fired() bool { return ev.state == stateFired }
 
 // Done reports whether the event will never fire in the future: it either
 // already fired or was canceled.
-func (ev *Event) Done() bool { return ev.fn == nil }
+func (ev *Event) Done() bool { return ev.state != statePending }
 
-type eventHeap []*Event
+// Timer is a cancelable handle to a pooled event. The zero Timer is inert.
+// Handles are generation-checked: once the event fires or is canceled and
+// the pool recycles it, a stale Timer observes the generation mismatch and
+// reports inactive instead of aliasing the event's next incarnation.
+type Timer struct {
+	ev  *Event
+	gen uint64
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// Active reports whether the timer is still scheduled: not yet fired,
+// canceled, or recycled.
+func (tm Timer) Active() bool {
+	return tm.ev != nil && tm.ev.gen == tm.gen && tm.ev.state == statePending
+}
+
+// When reports the scheduled fire time. Only meaningful while Active.
+func (tm Timer) When() Time {
+	if !tm.Active() {
+		return 0
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+	return tm.ev.at
 }
 
 // Engine is a single-threaded discrete-event simulator. It is not safe for
@@ -90,10 +121,27 @@ func (h *eventHeap) Pop() any {
 type Engine struct {
 	now     Time
 	seq     uint64
-	events  eventHeap
 	rng     *rand.Rand
 	stopped bool
 	fired   uint64
+	live    int // pending events across ready + wheel + overflow
+
+	wheel wheel
+
+	// ready is the sorted (by at, then seq) run queue: the spliced
+	// contents of the bucket the wheel last advanced to, plus any events
+	// scheduled into already-spliced buckets. head indexes the next
+	// event to fire.
+	ready []*Event
+	head  int
+	// deadReady counts lazily-canceled events still occupying ready.
+	// Cancel-heavy workloads that never let the clock advance would
+	// otherwise grow ready without bound; compactReady reclaims it once
+	// dead entries dominate.
+	deadReady int
+
+	// free is the event pool (chained through Event.next).
+	free *Event
 }
 
 // New returns an engine whose PRNG is seeded deterministically from seed.
@@ -112,37 +160,282 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending reports how many events are queued.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return e.live }
 
-// At schedules fn to run at absolute virtual time t. Scheduling in the past
-// panics: it always indicates a modeling bug, and silently clamping would
-// corrupt causality.
-func (e *Engine) At(t Time, fn func()) *Event {
+// schedule files a prepared event (callback fields already set) at
+// absolute time t. Scheduling in the past panics: it always indicates a
+// modeling bug, and silently clamping would corrupt causality.
+func (e *Engine) schedule(ev *Event, t Time) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
+	ev.at = t
+	ev.seq = e.seq
+	e.seq++
+	ev.state = statePending
+	e.live++
+	e.place(ev)
+}
+
+// At schedules fn to run at absolute virtual time t. The returned event is
+// caller-owned (never pooled) and may be held indefinitely.
+func (e *Engine) At(t Time, fn func()) *Event {
 	if fn == nil {
 		panic("sim: nil event callback")
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn}
-	e.seq++
-	heap.Push(&e.events, ev)
+	ev := &Event{fn: fn}
+	e.schedule(ev, t)
 	return ev
 }
 
 // After schedules fn to run d nanoseconds from now.
 func (e *Engine) After(d Time, fn func()) *Event { return e.At(e.now+d, fn) }
 
+// CallAt schedules cb(arg, u) at absolute time t on a pooled event:
+// fire-and-forget, zero allocations at steady state. This is the hot-path
+// variant of At — the callback is a stored func shared across schedules,
+// not a fresh closure.
+func (e *Engine) CallAt(t Time, cb Callback, arg any, u uint64) {
+	if cb == nil {
+		panic("sim: nil event callback")
+	}
+	ev := e.alloc()
+	ev.cb, ev.arg, ev.u = cb, arg, u
+	e.schedule(ev, t)
+}
+
+// CallAfter schedules cb(arg, u) to run d nanoseconds from now on a
+// pooled event.
+func (e *Engine) CallAfter(d Time, cb Callback, arg any, u uint64) {
+	e.CallAt(e.now+d, cb, arg, u)
+}
+
+// TimerAt is CallAt with a cancelable, generation-checked handle.
+func (e *Engine) TimerAt(t Time, cb Callback, arg any, u uint64) Timer {
+	if cb == nil {
+		panic("sim: nil event callback")
+	}
+	ev := e.alloc()
+	ev.cb, ev.arg, ev.u = cb, arg, u
+	e.schedule(ev, t)
+	return Timer{ev: ev, gen: ev.gen}
+}
+
+// TimerAfter is CallAfter with a cancelable, generation-checked handle.
+func (e *Engine) TimerAfter(d Time, cb Callback, arg any, u uint64) Timer {
+	return e.TimerAt(e.now+d, cb, arg, u)
+}
+
 // Cancel removes ev from the queue. Canceling an already-fired or
 // already-canceled event is a no-op, which makes teardown code simple.
 func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.fn == nil {
+	if ev == nil || ev.state != statePending {
 		return
 	}
-	ev.fn = nil
-	if ev.index >= 0 {
-		heap.Remove(&e.events, ev.index)
+	e.cancelEvent(ev)
+}
+
+// CancelTimer cancels a pooled schedule. Stale handles (the event fired or
+// was already canceled, even if since recycled for an unrelated schedule)
+// are a safe no-op. Reports whether the timer was actually canceled.
+func (e *Engine) CancelTimer(tm Timer) bool {
+	if !tm.Active() {
+		return false
 	}
+	e.cancelEvent(tm.ev)
+	return true
+}
+
+func (e *Engine) cancelEvent(ev *Event) {
+	ev.state = stateCanceled
+	e.live--
+	ev.fn, ev.cb, ev.arg = nil, nil, nil
+	if ev.loc == locBucket {
+		// Eager unlink keeps buckets free of dead events and lets the
+		// pool reuse the slot immediately (the cancel-heavy path).
+		e.wheelUnlink(ev)
+		if ev.pooled {
+			e.recycle(ev)
+		}
+		return
+	}
+	// locReady / locOverflow entries are swept (and pooled ones
+	// recycled) when their slice position is next visited; compaction
+	// bounds how many dead entries can pile up meanwhile.
+	switch ev.loc {
+	case locReady:
+		e.deadReady++
+		if e.deadReady > 64 && 2*e.deadReady > len(e.ready)-e.head {
+			e.compactReady()
+		}
+	case locOverflow:
+		e.wheel.deadOverflow++
+		if e.wheel.deadOverflow > 64 && 2*e.wheel.deadOverflow > len(e.wheel.overflow) {
+			e.compactOverflow()
+		}
+	}
+}
+
+// compactReady squeezes canceled entries out of the ready queue,
+// recycling pooled ones. Order among survivors is preserved.
+func (e *Engine) compactReady() {
+	kept := e.ready[:e.head] // fired prefix stays untouched
+	for _, ev := range e.ready[e.head:] {
+		if ev.state == statePending {
+			kept = append(kept, ev)
+			continue
+		}
+		ev.loc = locNone
+		if ev.pooled {
+			e.recycle(ev)
+		}
+	}
+	for i := len(kept); i < len(e.ready); i++ {
+		e.ready[i] = nil
+	}
+	e.ready = kept
+	e.deadReady = 0
+}
+
+// compactOverflow drops canceled entries from the overflow list and
+// refreshes its conservative minimum.
+func (e *Engine) compactOverflow() {
+	w := &e.wheel
+	kept := w.overflow[:0]
+	w.overflowMin = 0
+	for _, ev := range w.overflow {
+		if ev.state != statePending {
+			ev.loc = locNone
+			if ev.pooled {
+				e.recycle(ev)
+			}
+			continue
+		}
+		if b := bucketOf(ev.at); len(kept) == 0 || b < w.overflowMin {
+			w.overflowMin = b
+		}
+		kept = append(kept, ev)
+	}
+	for i := len(kept); i < len(w.overflow); i++ {
+		w.overflow[i] = nil
+	}
+	w.overflow = kept
+	w.deadOverflow = 0
+}
+
+// alloc takes an event from the pool, or grows it.
+func (e *Engine) alloc() *Event {
+	if ev := e.free; ev != nil {
+		e.free = ev.next
+		ev.next = nil
+		return ev
+	}
+	return &Event{pooled: true}
+}
+
+// recycle returns a pooled event to the free list, bumping its generation
+// so stale Timer handles cannot alias the next schedule that reuses it.
+func (e *Engine) recycle(ev *Event) {
+	ev.gen++
+	ev.state = stateFree
+	ev.loc = locNone
+	ev.fn, ev.cb, ev.arg = nil, nil, nil
+	ev.prev = nil
+	ev.next = e.free
+	e.free = ev
+}
+
+// readyInsert files ev into the sorted ready queue (its bucket was already
+// spliced). Position is found by binary search on (at, seq); events landing
+// here during a firing cascade are typically near the tail.
+func (e *Engine) readyInsert(ev *Event) {
+	ev.loc = locReady
+	lo, hi := e.head, len(e.ready)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		m := e.ready[mid]
+		if m.at < ev.at || (m.at == ev.at && m.seq < ev.seq) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	e.ready = append(e.ready, nil)
+	copy(e.ready[lo+1:], e.ready[lo:])
+	e.ready[lo] = ev
+}
+
+// spliceChain moves a freshly-advanced level-0 bucket into the ready
+// queue, restoring (at, seq) order. The chain holds only pending events
+// (cancel unlinks eagerly). The common case appends to an empty queue;
+// leftovers (RunUntil stopping mid-bucket, cascade spill) merge correctly
+// because their times precede the new bucket's range.
+func (e *Engine) spliceChain(chain *Event) {
+	if e.head == len(e.ready) {
+		e.ready = e.ready[:0]
+		e.head = 0
+	}
+	start := len(e.ready)
+	for ev := chain; ev != nil; {
+		next := ev.next
+		ev.prev, ev.next = nil, nil
+		ev.loc = locReady
+		e.ready = append(e.ready, ev)
+		ev = next
+	}
+	sortEvents(e.ready[start:])
+}
+
+// peek returns the next pending event without consuming it, advancing the
+// wheel and sweeping canceled entries as needed. Returns nil when no
+// events remain.
+func (e *Engine) peek() *Event {
+	for {
+		for e.head < len(e.ready) {
+			ev := e.ready[e.head]
+			if ev.state == statePending {
+				return ev
+			}
+			// Canceled while in the ready queue: sweep.
+			e.head++
+			e.deadReady--
+			ev.loc = locNone
+			if ev.pooled {
+				e.recycle(ev)
+			}
+		}
+		e.ready = e.ready[:0]
+		e.head = 0
+		e.deadReady = 0
+		if !e.advance() {
+			return nil
+		}
+	}
+}
+
+// fire pops ev (the current peek result) and runs its callback. Pooled
+// events are recycled before the callback so the pool slot is immediately
+// reusable; the callback only sees the copied-out fields.
+func (e *Engine) fire(ev *Event) {
+	e.head++
+	if ev.at < e.now {
+		panic("sim: event wheel produced time regression")
+	}
+	e.now = ev.at
+	ev.state = stateFired
+	ev.loc = locNone
+	e.fired++
+	e.live--
+	fn, cb, arg, u := ev.fn, ev.cb, ev.arg, ev.u
+	ev.fn, ev.cb, ev.arg = nil, nil, nil
+	if ev.pooled {
+		e.recycle(ev)
+	}
+	if fn != nil {
+		fn()
+		return
+	}
+	cb(arg, u)
 }
 
 // Stop makes the current Run/RunUntil call return after the in-flight
@@ -152,8 +445,12 @@ func (e *Engine) Stop() { e.stopped = true }
 // Run executes events until the queue drains or Stop is called.
 func (e *Engine) Run() {
 	e.stopped = false
-	for len(e.events) > 0 && !e.stopped {
-		e.step()
+	for !e.stopped {
+		ev := e.peek()
+		if ev == nil {
+			return
+		}
+		e.fire(ev)
 	}
 }
 
@@ -161,36 +458,26 @@ func (e *Engine) Run() {
 // exactly t. Events scheduled at t by other events at t still run.
 func (e *Engine) RunUntil(t Time) {
 	e.stopped = false
-	for len(e.events) > 0 && !e.stopped && e.events[0].at <= t {
-		e.step()
+	for !e.stopped {
+		ev := e.peek()
+		if ev == nil || ev.at > t {
+			break
+		}
+		e.fire(ev)
 	}
 	if !e.stopped && e.now < t {
 		e.now = t
 	}
 }
 
-func (e *Engine) step() {
-	ev := heap.Pop(&e.events).(*Event)
-	if ev.fn == nil {
-		return // canceled while queued (defensive; Cancel removes eagerly)
-	}
-	if ev.at < e.now {
-		panic("sim: event heap produced time regression")
-	}
-	e.now = ev.at
-	fn := ev.fn
-	ev.fn = nil
-	ev.fired = true
-	e.fired++
-	fn()
-}
-
 // Ticker invokes fn every period until canceled. It is used for epoch-based
-// agents (e.g., the token replenisher) and scheduler ticks.
+// agents (e.g., the token replenisher) and scheduler ticks. The ticker owns
+// a single persistent event that is re-armed in place, so steady-state
+// ticking allocates nothing.
 type Ticker struct {
 	e      *Engine
 	period Time
-	ev     *Event
+	ev     Event
 	fn     func()
 	done   bool
 }
@@ -205,20 +492,83 @@ func (e *Engine) NewTicker(period Time, fn func()) *Ticker {
 	return t
 }
 
+// arm re-schedules the ticker's own event for one period from now. The
+// engine clears the callback fields at fire time, so each arm restores
+// them; no allocation happens on this path.
 func (t *Ticker) arm() {
-	t.ev = t.e.After(t.period, func() {
-		if t.done {
-			return
-		}
-		t.fn()
-		if !t.done {
-			t.arm()
-		}
-	})
+	t.ev.cb = tickerTick
+	t.ev.arg = t
+	t.e.schedule(&t.ev, t.e.now+t.period)
+}
+
+// tickerTick is the shared tick callback (package-level: one func for all
+// tickers, selected by arg).
+func tickerTick(arg any, _ uint64) {
+	t := arg.(*Ticker)
+	if t.done {
+		return
+	}
+	t.fn()
+	if !t.done {
+		t.arm()
+	}
 }
 
 // Stop cancels the ticker.
 func (t *Ticker) Stop() {
 	t.done = true
-	t.e.Cancel(t.ev)
+	t.e.Cancel(&t.ev)
+}
+
+// eventLess is the engine's total order: time, then schedule FIFO.
+func eventLess(a, b *Event) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+}
+
+// sortEvents sorts a spliced bucket by (at, seq) in place without
+// allocating: insertion sort for the short chains the wheel usually
+// produces, median-of-three quicksort above that.
+func sortEvents(s []*Event) {
+	for len(s) > 12 {
+		// Median-of-three pivot to dodge sorted-input quadratics.
+		m := len(s) / 2
+		hi := len(s) - 1
+		if eventLess(s[m], s[0]) {
+			s[m], s[0] = s[0], s[m]
+		}
+		if eventLess(s[hi], s[m]) {
+			s[hi], s[m] = s[m], s[hi]
+			if eventLess(s[m], s[0]) {
+				s[m], s[0] = s[0], s[m]
+			}
+		}
+		pivot := s[m]
+		i, j := 0, hi
+		for i <= j {
+			for eventLess(s[i], pivot) {
+				i++
+			}
+			for eventLess(pivot, s[j]) {
+				j--
+			}
+			if i <= j {
+				s[i], s[j] = s[j], s[i]
+				i++
+				j--
+			}
+		}
+		// Recurse into the smaller half, loop on the larger.
+		if j < len(s)-i {
+			sortEvents(s[:j+1])
+			s = s[i:]
+		} else {
+			sortEvents(s[i:])
+			s = s[:j+1]
+		}
+	}
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && eventLess(s[j], s[j-1]); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
 }

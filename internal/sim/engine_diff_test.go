@@ -1,0 +1,310 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// This file proves the timer-wheel engine preserves the seed engine's
+// semantics: a minimal reference implementation of the original
+// container/heap core (refEngine) is driven through randomized
+// schedule/cancel/RunUntil traces in lockstep with the real engine, and
+// the fired sequences must match exactly — including FIFO order among
+// same-timestamp events and events scheduled exactly at RunUntil
+// boundaries.
+
+// refEvent / refEngine replicate the seed engine's (at, seq) binary heap
+// with lazy cancellation.
+type refEvent struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type refHeap []*refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)   { *h = append(*h, x.(*refEvent)) }
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+type refEngine struct {
+	now    Time
+	seq    uint64
+	events refHeap
+}
+
+func (e *refEngine) at(t Time, fn func()) *refEvent {
+	if t < e.now {
+		panic("ref: scheduling in the past")
+	}
+	ev := &refEvent{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+func (e *refEngine) cancel(ev *refEvent) { ev.fn = nil }
+
+func (e *refEngine) step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*refEvent)
+		if ev.fn == nil {
+			continue // lazily canceled
+		}
+		e.now = ev.at
+		fn := ev.fn
+		ev.fn = nil
+		fn()
+		return true
+	}
+	return false
+}
+
+func (e *refEngine) runUntil(t Time) {
+	for len(e.events) > 0 {
+		if e.events[0].fn == nil {
+			heap.Pop(&e.events)
+			continue
+		}
+		if e.events[0].at > t {
+			break
+		}
+		e.step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+func (e *refEngine) run() {
+	for e.step() {
+	}
+}
+
+// traceRule is one event's scripted behaviour when it fires: spawn
+// children at given deltas and cancel earlier events by id. Rules are
+// created once per id (lazily, in firing order) so both engines execute
+// the identical script.
+type traceRule struct {
+	children []Time
+	cancels  []int
+}
+
+// traceDelta draws a delay from ranges chosen to cover every wheel
+// regime: same-bucket ties (0..~1µs), nearby buckets, deep cascade
+// levels, and the overflow list beyond the wheel horizon.
+func traceDelta(rng *rand.Rand) Time {
+	switch rng.Intn(10) {
+	case 0:
+		return 0 // simultaneous with the parent
+	case 1, 2, 3:
+		return Time(rng.Int63n(1 << 10)) // inside one level-0 bucket
+	case 4, 5, 6:
+		return Time(rng.Int63n(1 << 18)) // levels 0-1
+	case 7, 8:
+		return Time(rng.Int63n(1 << 40)) // deep cascade levels
+	default:
+		return Time(rng.Int63n(1 << 62)) // beyond the horizon: overflow
+	}
+}
+
+// traceClamp bounds child timestamps so chains of overflow-range deltas
+// cannot wrap int64; clamping produces exact ties, which both engines
+// must order identically anyway.
+func traceClamp(now, d Time) Time {
+	const cap = Time(1) << 62
+	at := now + d
+	if at < now || at > cap {
+		return cap
+	}
+	return at
+}
+
+// diffTrace runs one randomized trace through both engines and compares
+// fired sequences and clocks at every RunUntil boundary and after the
+// final drain.
+func diffTrace(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+
+	const roots = 120
+	const maxEvents = 1500
+
+	eng := New(uint64(seed))
+	ref := &refEngine{}
+
+	var gotW, gotR []int
+	wheelHandles := map[int]any{} // id -> *Event (even ids) or Timer (odd ids)
+	refHandles := map[int]*refEvent{}
+	rules := map[int]traceRule{}
+	nextW, nextR := roots, roots // child id counters, one per engine
+
+	ruleFor := func(id, scheduled int) traceRule {
+		if r, ok := rules[id]; ok {
+			return r
+		}
+		r := traceRule{}
+		if scheduled < maxEvents {
+			for i, n := 0, rng.Intn(3); i < n; i++ {
+				r.children = append(r.children, traceDelta(rng))
+			}
+		}
+		if id > 0 && rng.Intn(2) == 0 {
+			r.cancels = append(r.cancels, rng.Intn(id))
+		}
+		rules[id] = r
+		return r
+	}
+
+	// scheduleWheel alternates the caller-owned closure path (even ids)
+	// and the pooled Timer path (odd ids), so the differential covers
+	// both front ends plus both cancel paths.
+	var fireWheel func(id int)
+	scheduleWheel := func(at Time, id int) {
+		if id%2 == 0 {
+			id := id
+			wheelHandles[id] = eng.At(at, func() { fireWheel(id) })
+		} else {
+			wheelHandles[id] = eng.TimerAt(at, func(_ any, u uint64) { fireWheel(int(u)) }, nil, uint64(id))
+		}
+	}
+	fireWheel = func(id int) {
+		gotW = append(gotW, id)
+		rule := ruleFor(id, nextW)
+		for _, c := range rule.cancels {
+			switch h := wheelHandles[c].(type) {
+			case *Event:
+				eng.Cancel(h)
+			case Timer:
+				eng.CancelTimer(h)
+			}
+		}
+		for _, d := range rule.children {
+			cid := nextW
+			nextW++
+			scheduleWheel(traceClamp(eng.Now(), d), cid)
+		}
+	}
+
+	var fireRef func(id int)
+	scheduleRef := func(at Time, id int) {
+		id2 := id
+		refHandles[id2] = ref.at(at, func() { fireRef(id2) })
+	}
+	fireRef = func(id int) {
+		gotR = append(gotR, id)
+		rule := ruleFor(id, nextR)
+		for _, c := range rule.cancels {
+			if ev, ok := refHandles[c]; ok {
+				ref.cancel(ev)
+			}
+		}
+		for _, d := range rule.children {
+			cid := nextR
+			nextR++
+			scheduleRef(traceClamp(ref.now, d), cid)
+		}
+	}
+
+	// Roots: random times plus deliberate exact-duplicate timestamps.
+	var rootTimes []Time
+	for i := 0; i < roots; i++ {
+		var at Time
+		if i%10 < 3 && len(rootTimes) > 0 {
+			at = rootTimes[rng.Intn(len(rootTimes))]
+		} else {
+			at = traceDelta(rng)
+		}
+		rootTimes = append(rootTimes, at)
+		scheduleWheel(at, i)
+		scheduleRef(at, i)
+	}
+
+	// Drive in stages: RunUntil boundaries (some landing exactly on event
+	// timestamps), then drain.
+	for i := 0; i < 4; i++ {
+		bound := rootTimes[rng.Intn(len(rootTimes))] + Time(rng.Int63n(1<<20))
+		if bound < eng.Now() {
+			continue
+		}
+		eng.RunUntil(bound)
+		ref.runUntil(bound)
+		if eng.Now() != ref.now {
+			t.Fatalf("seed %d: clocks diverged after RunUntil(%v): wheel %v ref %v", seed, bound, eng.Now(), ref.now)
+		}
+	}
+	eng.Run()
+	ref.run()
+
+	if len(gotW) != len(gotR) {
+		t.Fatalf("seed %d: fired %d events on wheel, %d on reference", seed, len(gotW), len(gotR))
+	}
+	for i := range gotW {
+		if gotW[i] != gotR[i] {
+			t.Fatalf("seed %d: fired order diverges at %d: wheel %d ref %d", seed, i, gotW[i], gotR[i])
+		}
+	}
+	if eng.Pending() != 0 {
+		t.Fatalf("seed %d: %d events still pending after Run", seed, eng.Pending())
+	}
+}
+
+func TestDifferentialVsHeap(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		diffTrace(t, seed)
+	}
+}
+
+// TestDifferentialFIFOBurst hammers the exact-tie path: hundreds of
+// events at one timestamp, spread across all three scheduling front ends
+// and interleaved with cancels, must fire in schedule order on both
+// engines.
+func TestDifferentialFIFOBurst(t *testing.T) {
+	eng := New(7)
+	ref := &refEngine{}
+	var gotW, gotR []int
+
+	var wheelEvs []*Event
+	var refEvs []*refEvent
+	const at = Time(5 * Microsecond)
+	for i := 0; i < 300; i++ {
+		i := i
+		if i%3 == 1 {
+			eng.CallAt(at, func(_ any, u uint64) { gotW = append(gotW, int(u)) }, nil, uint64(i))
+			wheelEvs = append(wheelEvs, nil) // fire-and-forget: no handle
+		} else {
+			wheelEvs = append(wheelEvs, eng.At(at, func() { gotW = append(gotW, i) }))
+		}
+		refEvs = append(refEvs, ref.at(at, func() { gotR = append(gotR, i) }))
+	}
+	for i := 0; i < 300; i += 7 {
+		if wheelEvs[i] != nil {
+			eng.Cancel(wheelEvs[i])
+			ref.cancel(refEvs[i])
+		}
+	}
+	eng.Run()
+	ref.run()
+	if len(gotW) != len(gotR) {
+		t.Fatalf("fired %d on wheel, %d on ref", len(gotW), len(gotR))
+	}
+	for i := range gotW {
+		if gotW[i] != gotR[i] {
+			t.Fatalf("FIFO burst order diverges at %d: wheel %d ref %d", i, gotW[i], gotR[i])
+		}
+	}
+}

@@ -112,6 +112,11 @@ type Device struct {
 	// program, the device Env, and the reusable scratch Ctx.
 	submit *hook.Point
 
+	// completeCB is the stored closure-free callback for the per-request
+	// completion event (arg = *Request, u = queue), so Submit schedules
+	// without allocating.
+	completeCB sim.Callback
+
 	Stats Stats
 }
 
@@ -123,7 +128,7 @@ type ioQueue struct {
 // NewDevice creates the device.
 func NewDevice(eng *sim.Engine, cfg Config) *Device {
 	cfg.fill()
-	return &Device{
+	d := &Device{
 		eng:    eng,
 		cfg:    cfg,
 		queues: make([]ioQueue, cfg.Queues),
@@ -132,6 +137,14 @@ func NewDevice(eng *sim.Engine, cfg Config) *Device {
 			Ktime:   func() uint64 { return uint64(eng.Now()) },
 		}),
 	}
+	d.completeCB = func(arg any, u uint64) {
+		d.queues[u].depth--
+		d.Stats.Completed++
+		if d.cfg.OnComplete != nil {
+			d.cfg.OnComplete(arg.(*Request), d.eng.Now())
+		}
+	}
+	return d
 }
 
 // SetPolicy installs the submit-hook program (nil clears), attaching/
@@ -194,13 +207,7 @@ func (d *Device) Submit(req *Request) bool {
 	}
 	done := start + cost
 	q.busyUntil = done
-	d.eng.At(done, func() {
-		q.depth--
-		d.Stats.Completed++
-		if d.cfg.OnComplete != nil {
-			d.cfg.OnComplete(req, d.eng.Now())
-		}
-	})
+	d.eng.CallAt(done, d.completeCB, req, uint64(queue))
 	return true
 }
 

@@ -92,6 +92,14 @@ type Generator struct {
 	reqs    []reqInfo           // redraws the 5-tuple pool, which is where Fig. 2's
 	perCls  []*metrics.RunStats // run-to-run hash-imbalance noise comes from
 	stopped bool
+
+	// Arrival-process state plus the two stored closure-free callbacks
+	// (next-arrival tick and wire-delay delivery), so the per-request hot
+	// loop schedules without allocating.
+	endAt       sim.Time
+	measureFrom sim.Time
+	arriveCB    sim.Callback
+	rxCB        sim.Callback
 }
 
 type flowID struct {
@@ -128,6 +136,15 @@ func New(eng *sim.Engine, dev *nic.NIC, cfg Config) *Generator {
 		seen[f] = true
 		g.flows = append(g.flows, f)
 	}
+	g.arriveCB = func(any, uint64) {
+		now := g.eng.Now()
+		if now >= g.endAt || g.stopped {
+			return
+		}
+		g.send(now >= g.measureFrom)
+		g.scheduleNext()
+	}
+	g.rxCB = func(arg any, _ uint64) { g.dev.Receive(arg.(*nic.Packet)) }
 	return g
 }
 
@@ -153,27 +170,23 @@ func (g *Generator) Complete(reqID uint64, finish sim.Time) {
 // Start schedules the arrival process: sends begin immediately and stop
 // after Warmup+Measure.
 func (g *Generator) Start() {
-	end := g.eng.Now() + g.cfg.Warmup + g.cfg.Measure
-	measureFrom := g.eng.Now() + g.cfg.Warmup
-	var schedule func()
-	schedule = func() {
-		if g.stopped {
-			return
-		}
-		gap := sim.Time(g.eng.Rand().ExpFloat64() / g.cfg.Rate * 1e9)
-		if gap < 1 {
-			gap = 1
-		}
-		g.eng.After(gap, func() {
-			now := g.eng.Now()
-			if now >= end || g.stopped {
-				return
-			}
-			g.send(now >= measureFrom)
-			schedule()
-		})
+	g.endAt = g.eng.Now() + g.cfg.Warmup + g.cfg.Measure
+	g.measureFrom = g.eng.Now() + g.cfg.Warmup
+	g.scheduleNext()
+}
+
+// scheduleNext draws the next Poisson gap and arms the arrival event. The
+// gap draw stays here — after send()'s class/key/flow draws — so the PRNG
+// consumption order matches run-to-run regardless of engine internals.
+func (g *Generator) scheduleNext() {
+	if g.stopped {
+		return
 	}
-	schedule()
+	gap := sim.Time(g.eng.Rand().ExpFloat64() / g.cfg.Rate * 1e9)
+	if gap < 1 {
+		gap = 1
+	}
+	g.eng.CallAfter(gap, g.arriveCB, nil, 0)
 }
 
 // Stop halts the arrival process early.
@@ -213,7 +226,7 @@ func (g *Generator) send(measured bool) {
 		SentAt:  g.eng.Now(),
 	}
 	// The packet reaches the NIC one wire delay later.
-	g.eng.After(g.cfg.Wire, func() { g.dev.Receive(pkt) })
+	g.eng.CallAfter(g.cfg.Wire, g.rxCB, pkt, 0)
 }
 
 // Result finalizes the run: anything sent in the measure window and still

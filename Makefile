@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race lint-hooks check bench bench-dispatch bench-engine fuzz clean
+.PHONY: build test vet race lint-hooks trace-check alloc-gates check bench bench-dispatch bench-engine fuzz clean
 
 build:
 	$(GO) build ./...
@@ -27,9 +27,23 @@ lint-hooks:
 		exit 1; \
 	fi
 
-# check is the PR gate: build, vet, lint, race-test the VM + hooks, then the
-# full suite.
-check: build vet lint-hooks race test
+# The trace recorder is single-owner by design, but the metrics registry it
+# feeds (counters, SnapshotDelta, histogram registration) is shared with
+# protocol goroutines. Run both observability packages under the race
+# detector.
+trace-check:
+	$(GO) test -race ./internal/trace/ ./internal/metrics/
+
+# Zero-alloc gates (see DESIGN.md): the event-engine steady state, compiled
+# eBPF dispatch, hook dispatch (traced and untraced), and the span
+# recorder's Record path — including disabled/nil recorders, i.e. the
+# tracing-off hot path — must all stay at 0 allocs/op.
+alloc-gates:
+	$(GO) test -run 'TestZeroAlloc|TestCompiledRunZeroAllocs' -v ./internal/sim/ ./internal/trace/ ./internal/hook/ ./internal/ebpf/ | grep -E '^(=== RUN|--- (PASS|FAIL)|FAIL|ok)'
+
+# check is the PR gate: build, vet, lint, race-test the VM + hooks +
+# observability, alloc gates, then the full suite.
+check: build vet lint-hooks race trace-check alloc-gates test
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -4,6 +4,13 @@
 // Usage:
 //
 //	syrup-bench [-fast] [-points N] [-seeds N] fig2|fig6|fig7|fig8|fig9a|fig9b|table2|table3|ablation-late|ablation-rfs|all
+//
+// It can also run a single load point with the cross-stack request tracer
+// on, printing the per-stage latency breakdown and/or exporting a Chrome
+// trace_event file for chrome://tracing / Perfetto:
+//
+//	syrup-bench -breakdown -load 150000
+//	syrup-bench -trace out.json -load 150000 -scan-pct 0.5 -policy scan_avoid
 package main
 
 import (
@@ -23,12 +30,20 @@ func main() {
 	seeds := flag.Int("seeds", 0, "override seeds per point (fig2/fig6)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to `file`")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to `file` at exit")
+	breakdown := flag.Bool("breakdown", false, "run one traced point and print the per-stage latency breakdown")
+	traceOut := flag.String("trace", "", "run one traced point and write Chrome trace_event JSON to `file`")
+	load := flag.Float64("load", 0, "offered RPS for -breakdown/-trace (default 150000)")
+	scanPct := flag.Float64("scan-pct", 0, "percent SCAN requests for -breakdown/-trace")
+	polName := flag.String("policy", "round_robin", "socket policy for -breakdown/-trace (vanilla|round_robin|scan_avoid|sita)")
+	seed := flag.Uint64("seed", 1, "simulation seed for -breakdown/-trace")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: syrup-bench [flags] fig2|fig6|fig7|fig8|fig9a|fig9b|table2|table3|ablation-late|ablation-rfs|all\n")
+		fmt.Fprintf(os.Stderr, "       syrup-bench [-fast] -breakdown|-trace file [-load RPS] [-scan-pct P] [-policy NAME] [-seed N]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() != 1 {
+	traced := *breakdown || *traceOut != ""
+	if (flag.NArg() != 1 && !traced) || (flag.NArg() != 0 && traced) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -67,6 +82,41 @@ func main() {
 				os.Exit(1)
 			}
 		}()
+	}
+
+	if traced {
+		cfg := experiments.DefaultTrace()
+		cfg.Windows = windows
+		cfg.Seed = *seed
+		cfg.ScanPct = *scanPct
+		cfg.Policy = experiments.SocketPolicy(*polName)
+		if *load > 0 {
+			cfg.Load = *load
+		}
+		start := time.Now()
+		tr := experiments.RunTraced(cfg)
+		if *breakdown {
+			fmt.Print(tr.FormatBreakdown())
+		}
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+				os.Exit(1)
+			}
+			if err := tr.WriteChrome(f); err != nil {
+				fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %d spans to %s (open in chrome://tracing or Perfetto)\n",
+				len(tr.Recorder.Spans()), *traceOut)
+		}
+		fmt.Printf("\n[traced point completed in %v]\n", time.Since(start).Round(time.Millisecond))
+		return
 	}
 
 	run := func(name string) {

@@ -39,16 +39,24 @@ func main() {
 	rps := flag.Float64("rps", 250_000, "background offered load")
 	scanPct := flag.Float64("scan-pct", 0.5, "percent of requests that are SCANs")
 	speed := flag.Float64("speed", 1.0, "virtual seconds simulated per wall second")
+	traceCap := flag.Int("trace", 0, "enable request tracing with a span ring of this capacity (0 = off); query via the trace op")
 	flag.Parse()
 
-	host := syrup.NewHost(syrup.HostConfig{Seed: 1, NumCPUs: *threads, NICQueues: *threads})
+	var tracer *syrup.TraceRecorder
+	if *traceCap > 0 {
+		tracer = syrup.NewTraceRecorder(*traceCap)
+	}
+	host := syrup.NewHost(syrup.HostConfig{Seed: 1, NumCPUs: *threads, NICQueues: *threads, Trace: tracer})
 	app, err := host.RegisterApp(1, 1000, 9000)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Rolling metrics for the stats op.
+	// Rolling metrics for the stats op. Registering the latency histogram
+	// lets the stats op derive request_latency_{count,p50_us,p99_us,
+	// p999_us} without bespoke StatsFunc keys.
 	lat := metrics.NewHistogram()
+	metrics.RegisterHistogram("request_latency", lat)
 	var completed, offered uint64
 	sent := map[uint64]sim.Time{}
 
@@ -61,6 +69,7 @@ func main() {
 	srv := rocksdb.NewServer(host.Eng, host.Machine, host.Stack, rocksdb.Config{
 		Port: 9000, App: 1, NumThreads: *threads, PinToCores: true,
 		ScanState: scanState.Raw(),
+		Tracer:    tracer,
 		OnComplete: func(reqID uint64, finish sim.Time) {
 			if at, ok := sent[reqID]; ok {
 				lat.Record(int64(finish + 5*sim.Microsecond - at))
@@ -146,9 +155,8 @@ func main() {
 		select {
 		case <-sigc:
 			log.Printf("syrupd: shutting down at virtual %v", host.Now())
-			counters := metrics.Counters()
-			for _, name := range metrics.CounterNames() {
-				log.Printf("syrupd: counter %s=%d", name, counters[name])
+			for _, c := range metrics.CountersSorted() {
+				log.Printf("syrupd: counter %s=%d", c.Name, c.Value)
 			}
 			return
 		case <-ticker.C:

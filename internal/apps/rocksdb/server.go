@@ -9,6 +9,7 @@ import (
 	"syrup/internal/nic"
 	"syrup/internal/policy"
 	"syrup/internal/sim"
+	"syrup/internal/trace"
 )
 
 // ServiceModel produces per-request virtual service times.
@@ -59,6 +60,10 @@ type Config struct {
 	// thread and keeps it warm; policies that spray flows across threads
 	// forfeit the discount.
 	FlowLocalityBonus float64
+	// Tracer, when enabled, receives the kernel-side lifecycle spans:
+	// socket wait (enqueue→dequeue), runqueue wait (wake→dispatch, when
+	// the worker was blocked), and on-CPU service (dequeue→completion).
+	Tracer *trace.Recorder
 }
 
 // flowLRUSize is the per-thread warm flow-context capacity.
@@ -174,24 +179,47 @@ func (s *Server) touchFlow(slot int, flow uint64) bool {
 // service time → perform the real storage op → reply → repeat.
 func (s *Server) workerLoop(th *kernel.Thread, slot int) {
 	sock := s.sockets[slot]
+	// wasBlocked marks that this packet's dequeue followed a block→wake
+	// cycle, so the serve path can attribute the runqueue wait.
+	wasBlocked := false
 	var loop func()
 	loop = func() {
 		pkt := sock.TryRecv()
 		if pkt == nil {
 			sock.WaitRecv(func() { th.Wake() })
+			wasBlocked = true
 			th.Block(loop)
 			return
 		}
-		s.serve(th, slot, pkt, loop)
+		blocked := wasBlocked
+		wasBlocked = false
+		s.serve(th, slot, pkt, blocked, loop)
 	}
 	loop()
 }
 
-func (s *Server) serve(th *kernel.Thread, slot int, pkt *nic.Packet, loop func()) {
+func (s *Server) serve(th *kernel.Thread, slot int, pkt *nic.Packet, wasBlocked bool, loop func()) {
 	reqType, _, keyHash, reqID, ok := policy.DecodeHeader(pkt.Payload)
 	if !ok {
 		loop() // malformed request: ignore
 		return
+	}
+	start := s.eng.Now()
+	if s.cfg.Tracer.Enabled() {
+		cpu := int32(th.LastCPU())
+		// Socket wait: enqueue to this dequeue. The runqueue wait
+		// (wake→dispatch) sits inside its tail whenever the worker had
+		// to block, and is recorded as its own sub-stage span.
+		s.cfg.Tracer.Record(trace.Span{
+			Req: pkt.ID, Start: pkt.EnqueuedAt, End: start, Stage: trace.StageSocket,
+			CPU: cpu, Executor: uint32(slot), Port: pkt.DstPort,
+		})
+		if wasBlocked {
+			s.cfg.Tracer.Record(trace.Span{
+				Req: pkt.ID, Start: th.LastWakeAt(), End: th.DispatchedAt(),
+				Stage: trace.StageRunqueue, CPU: cpu, Executor: uint32(slot), Port: pkt.DstPort,
+			})
+		}
 	}
 	if s.cfg.ScanState != nil {
 		// Userspace half of SCAN Avoid: record what we're processing.
@@ -223,6 +251,12 @@ func (s *Server) serve(th *kernel.Thread, slot int, pkt *nic.Packet, loop func()
 		}
 		if s.cfg.ScanState != nil {
 			s.cfg.ScanState.UpdateUint64(uint32(slot), policy.ReqGET)
+		}
+		if s.cfg.Tracer.Enabled() {
+			s.cfg.Tracer.Record(trace.Span{
+				Req: pkt.ID, Start: start, End: s.eng.Now(), Stage: trace.StageOnCPU,
+				CPU: int32(th.LastCPU()), Executor: uint32(slot), Port: pkt.DstPort,
+			})
 		}
 		if s.cfg.OnComplete != nil {
 			s.cfg.OnComplete(reqID, s.eng.Now())

@@ -10,6 +10,7 @@ import (
 	"syrup/internal/kernel"
 	"syrup/internal/policy"
 	"syrup/internal/sim"
+	"syrup/internal/trace"
 	"syrup/internal/workload"
 )
 
@@ -78,6 +79,10 @@ type rocksPoint struct {
 	// FlowLocalityBonus enables the §2.1 RFS locality model.
 	FlowLocalityBonus float64
 	Windows           Windows
+	// Tracer, when set, threads the cross-stack request tracer through
+	// the host and server. Tracing never perturbs the simulation, so a
+	// traced point's Result is bit-identical to an untraced one.
+	Tracer *trace.Recorder
 }
 
 const (
@@ -112,6 +117,7 @@ func runRocksPointFull(pt rocksPoint) (*workload.Result, *rocksdb.Server) {
 		Seed:      pt.Seed,
 		NumCPUs:   pt.NumCPUs,
 		NICQueues: pt.NumCPUs, // one RX queue per core, IRQs on buddies (§5.1.1)
+		Trace:     pt.Tracer,
 	})
 	app, err := host.RegisterApp(rocksApp, rocksUID, rocksPort)
 	if err != nil {
@@ -146,6 +152,7 @@ func runRocksPointFull(pt rocksPoint) (*workload.Result, *rocksdb.Server) {
 		ScanState:         scanState.Raw(),
 		OnComplete:        gen.Complete,
 		FlowLocalityBonus: pt.FlowLocalityBonus,
+		Tracer:            pt.Tracer,
 	})
 	if pt.LateBinding {
 		host.Stack.LookupGroup(rocksPort).EnableLateBinding(host.Stack.SocketQueueCap() * pt.NumThreads)

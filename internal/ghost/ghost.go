@@ -18,6 +18,7 @@ import (
 	"syrup/internal/hook"
 	"syrup/internal/kernel"
 	"syrup/internal/sim"
+	"syrup/internal/trace"
 )
 
 // MsgType enumerates thread state-change messages (§4.1 lists created,
@@ -143,6 +144,17 @@ type Agent struct {
 	commitCB  sim.Callback
 	commitQ   []Placement
 	commitOut int // in-flight commit events against commitQ
+	// commitAt mirrors commitQ index-for-index with each placement's
+	// commit-issue time, so commit spans measure the syscall+IPI round
+	// trip. Appended unconditionally (tracer or not) to keep the
+	// absolute indices the commit events carry aligned.
+	commitAt []sim.Time
+
+	// tracer, when enabled, receives StageGhost spans for message-batch
+	// processing and placement commits; batchStart marks the current
+	// batch's start on the agent core.
+	tracer     *trace.Recorder
+	batchStart sim.Time
 
 	// Stats.
 	Messages uint64
@@ -172,6 +184,13 @@ func NewAgent(m *kernel.Machine, app uint32, policy Policy, agentCPU kernel.CPUI
 		m.CPU(w).Reserve(fmt.Sprintf("ghost-enclave-app%d", app))
 	}
 	a.batchCB = func(any, uint64) {
+		if a.tracer.Enabled() {
+			a.tracer.Record(trace.Span{
+				Start: a.batchStart, End: a.eng.Now(), Stage: trace.StageGhost,
+				CPU: int32(a.agentCPU), Executor: uint32(len(a.inflight)),
+				Hook: a.pt.Name(), Policy: "batch",
+			})
+		}
 		for _, msg := range a.inflight {
 			a.Messages++
 			switch msg.Type {
@@ -196,14 +215,29 @@ func NewAgent(m *kernel.Machine, app uint32, policy Policy, agentCPU kernel.CPUI
 	a.commitCB = func(_ any, u uint64) {
 		pl := a.commitQ[u]
 		a.commitQ[u] = Placement{}
+		if a.tracer.Enabled() {
+			a.tracer.Record(trace.Span{
+				Req: uint64(pl.Thread.ID), Start: a.commitAt[u], End: a.eng.Now(),
+				Stage: trace.StageGhost, Verdict: trace.VerdictSteer,
+				Executor: uint32(pl.CPU), CPU: int32(a.agentCPU),
+				Hook: a.pt.Name(), Policy: "commit",
+			})
+		}
 		a.commitOut--
 		if a.commitOut == 0 {
 			a.commitQ = a.commitQ[:0]
+			a.commitAt = a.commitAt[:0]
 		}
 		a.commit(pl)
 	}
 	return a
 }
+
+// SetTracer routes the agent's message→commit round trips to r as
+// StageGhost spans: one per processed batch (Policy "batch", Executor =
+// message count) and one per placement commit (Policy "commit",
+// Executor = target CPU, Req = thread ID).
+func (a *Agent) SetTracer(r *trace.Recorder) { a.tracer = r }
 
 // Register moves a blocked thread into this agent's scheduling class.
 // ghOSt's isolation guarantee: the kernel refuses threads of other
@@ -251,6 +285,7 @@ func (a *Agent) maybeRun() {
 		return
 	}
 	a.busy = true
+	a.batchStart = a.eng.Now()
 	// Swap the queue and the (drained) inflight buffer: the batch keeps its
 	// backing array for reuse, and new messages accumulate in the other.
 	a.inflight, a.queue = a.queue, a.inflight[:0]
@@ -292,6 +327,7 @@ func (a *Agent) invokePolicy() {
 		commitDelay += a.cfg.CommitCost
 		a.Commits++
 		a.commitQ = append(a.commitQ, pl)
+		a.commitAt = append(a.commitAt, a.eng.Now())
 		a.commitOut++
 		a.eng.CallAfter(commitDelay, a.commitCB, nil, uint64(len(a.commitQ)-1))
 	}

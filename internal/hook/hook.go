@@ -30,6 +30,8 @@ import (
 
 	"syrup/internal/ebpf"
 	"syrup/internal/metrics"
+	"syrup/internal/sim"
+	"syrup/internal/trace"
 )
 
 // Action classifies a hook run's outcome for the layer.
@@ -58,14 +60,31 @@ type Verdict struct {
 	Faulted bool
 }
 
+// Trace classifies the verdict for a trace span: the trace-level
+// verdict plus the chosen executor (0 unless Steer).
+func (v Verdict) Trace() (trace.Verdict, uint32) {
+	switch {
+	case v.Faulted:
+		return trace.VerdictFault, 0
+	case v.Action == Drop:
+		return trace.VerdictDrop, 0
+	case v.Action == Steer:
+		return trace.VerdictSteer, v.Index
+	default:
+		return trace.VerdictPass, 0
+	}
+}
+
 // Input is one hook invocation's arguments. Env, when non-nil, overrides
 // the point's default environment (the netstack passes per-softirq-core
-// envs so get_smp_processor_id reads the right CPU).
+// envs so get_smp_processor_id reads the right CPU). Req carries the
+// request/packet ID for trace attribution only — programs never see it.
 type Input struct {
 	Packet []byte
 	Hash   uint32
 	Port   uint32
 	Queue  uint32
+	Req    uint64
 	Env    *ebpf.Env
 }
 
@@ -103,6 +122,12 @@ type Point struct {
 
 	runsCtr   *metrics.Counter
 	faultsCtr *metrics.Counter
+
+	// tracer, when set and enabled, receives one instant span per Run
+	// with the verdict that came out of the installed policy; now
+	// supplies the simulated clock for the span timestamp.
+	tracer *trace.Recorder
+	now    func() sim.Time
 }
 
 // NewPoint creates a hook point. name identifies the instance (for metric
@@ -128,6 +153,16 @@ func sanitize(name string) string {
 		}
 		return '_'
 	}, name)
+}
+
+// SetTracer routes one instant span per Run to r, timestamped with now
+// (the simulated clock). Pass nil to detach. The hook.Point framework
+// is the single instrumentation seam for policy decisions: layers see
+// routing verdicts only through Run, so attaching the tracer here
+// covers XDP offload, SKB XDP, cpumap redirect, socket select, storage
+// submit, and the thread hook without per-layer duplication.
+func (p *Point) SetTracer(r *trace.Recorder, now func() sim.Time) {
+	p.tracer, p.now = r, now
 }
 
 // Kind reports the point's hook kind.
@@ -245,6 +280,7 @@ func (p *Point) Run(in Input) Verdict {
 	if link != nil {
 		link.stats.Runs++
 	}
+	var v Verdict
 	switch {
 	case err != nil:
 		p.stats.Faults++
@@ -253,26 +289,37 @@ func (p *Point) Run(in Input) Verdict {
 		if link != nil {
 			link.stats.Faults++
 		}
-		return Verdict{Action: Pass, Faulted: true}
+		v = Verdict{Action: Pass, Faulted: true}
 	case raw == ebpf.VerdictDrop:
 		p.stats.Drops++
 		if link != nil {
 			link.stats.Drops++
 		}
-		return Verdict{Action: Drop}
+		v = Verdict{Action: Drop}
 	case raw == ebpf.VerdictPass:
 		p.stats.Passes++
 		if link != nil {
 			link.stats.Passes++
 		}
-		return Verdict{Action: Pass}
+		v = Verdict{Action: Pass}
 	default:
 		p.stats.Steers++
 		if link != nil {
 			link.stats.Steers++
 		}
-		return Verdict{Action: Steer, Index: raw}
+		v = Verdict{Action: Steer, Index: raw}
 	}
+	if p.tracer.Enabled() {
+		tv, exec := v.Trace()
+		now := p.now()
+		p.tracer.Record(trace.Span{
+			Req: in.Req, Start: now, End: now, Stage: trace.StageHook,
+			Verdict: tv, Executor: exec, CPU: int32(in.Queue),
+			Port: uint16(in.Port), Hook: p.name, Policy: p.prog.Name(),
+			Err: v.Faulted, Instant: true,
+		})
+	}
+	return v
 }
 
 // Link is an owned attachment of one program (or userspace policy) to one

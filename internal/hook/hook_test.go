@@ -6,6 +6,8 @@ import (
 
 	"syrup/internal/ebpf"
 	"syrup/internal/metrics"
+	"syrup/internal/sim"
+	"syrup/internal/trace"
 )
 
 func mustProg(t *testing.T, name, src string) *ebpf.Program {
@@ -236,5 +238,117 @@ func TestRegistry(t *testing.T) {
 		if !strings.Contains(tbl, "`"+name+"`") {
 			t.Fatalf("markdown table missing %s", name)
 		}
+	}
+}
+
+// TestTracedRunEmitsVerdictSpans covers the trace seam: every Run on a
+// traced point must emit one instant hook span carrying the verdict.
+func TestTracedRunEmitsVerdictSpans(t *testing.T) {
+	pt := NewPoint(SocketSelect, "t_traced:9000", nil)
+	rec := trace.New(16)
+	var clock sim.Time = 1000
+	pt.SetTracer(rec, func() sim.Time { return clock })
+
+	// Empty slot: layer default, no policy ran, no span.
+	pt.Run(Input{Req: 1})
+	if rec.Total() != 0 {
+		t.Fatalf("empty-slot Run recorded %d spans, want 0", rec.Total())
+	}
+
+	if _, err := pt.Attach(mustProg(t, "steer2", "r0 = 2\nexit\n")); err != nil {
+		t.Fatal(err)
+	}
+	clock = 2000
+	pt.Run(Input{Req: 7, Port: 9000, Queue: 3})
+	spans := rec.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("recorded %d spans, want 1", len(spans))
+	}
+	s := spans[0]
+	if !s.Instant || s.Stage != trace.StageHook || s.Req != 7 ||
+		s.Start != 2000 || s.End != 2000 || s.CPU != 3 || s.Port != 9000 ||
+		s.Verdict != trace.VerdictSteer || s.Executor != 2 ||
+		s.Hook != "t_traced:9000" || s.Policy != "steer2" || s.Err {
+		t.Fatalf("steer span = %+v", s)
+	}
+
+	// Detaching the tracer stops emission without touching the verdict.
+	pt.SetTracer(nil, nil)
+	if v := pt.Run(Input{Req: 8}); v.Action != Steer || rec.Total() != 1 {
+		t.Fatalf("untraced Run: verdict=%+v spans=%d", v, rec.Total())
+	}
+}
+
+// TestFaultEmitsErrorSpanAndFallsOpen pins the fault path's trace
+// contract: a faulting policy must emit a span tagged with the error
+// AND still fall open to Pass so the layer default runs.
+func TestFaultEmitsErrorSpanAndFallsOpen(t *testing.T) {
+	pt := NewPoint(XDPOffload, "t_fault_traced", nil)
+	rec := trace.New(16)
+	pt.SetTracer(rec, func() sim.Time { return 500 })
+	if _, err := pt.Attach(faultyProg(t)); err != nil {
+		t.Fatal(err)
+	}
+
+	v := pt.Run(Input{Req: 42, Queue: 1})
+	if v.Action != Pass || !v.Faulted {
+		t.Fatalf("fault did not fall open: %+v", v)
+	}
+	spans := rec.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("recorded %d spans, want 1", len(spans))
+	}
+	s := spans[0]
+	if !s.Err || s.Verdict != trace.VerdictFault || s.Req != 42 ||
+		s.Stage != trace.StageHook || s.Policy != "faulty" {
+		t.Fatalf("fault span = %+v", s)
+	}
+	if st := pt.Stats(); st.Faults != 1 {
+		t.Fatalf("fault not counted: %+v", st)
+	}
+}
+
+// TestVerdictTrace covers the Verdict -> trace classification helper.
+func TestVerdictTrace(t *testing.T) {
+	cases := []struct {
+		v    Verdict
+		want trace.Verdict
+		exec uint32
+	}{
+		{Verdict{Action: Pass}, trace.VerdictPass, 0},
+		{Verdict{Action: Drop}, trace.VerdictDrop, 0},
+		{Verdict{Action: Steer, Index: 5}, trace.VerdictSteer, 5},
+		{Verdict{Action: Pass, Faulted: true}, trace.VerdictFault, 0},
+	}
+	for _, c := range cases {
+		tv, exec := c.v.Trace()
+		if tv != c.want || exec != c.exec {
+			t.Fatalf("Trace(%+v) = %v/%d, want %v/%d", c.v, tv, exec, c.want, c.exec)
+		}
+	}
+}
+
+// TestZeroAllocRun gates the hook dispatch hot path: Run must stay
+// allocation-free whether tracing is off (the default every figure runs
+// with) or on (the recorder's ring Record is itself zero-alloc once warm).
+func TestZeroAllocRun(t *testing.T) {
+	eng := sim.New(1)
+	pt := NewPoint(SocketSelect, "t_zeroalloc", nil)
+	if _, err := pt.Attach(mustProg(t, "steer0", "r0 = 0\nexit\n")); err != nil {
+		t.Fatal(err)
+	}
+	in := Input{Req: 7, Port: 9000, Hash: 0x1234}
+
+	if avg := testing.AllocsPerRun(500, func() { pt.Run(in) }); avg != 0 {
+		t.Fatalf("untraced Run: %v allocs/op, want 0", avg)
+	}
+
+	rec := trace.New(256)
+	pt.SetTracer(rec, eng.Now)
+	for i := 0; i < 512; i++ { // warm the ring past its first lap
+		pt.Run(in)
+	}
+	if avg := testing.AllocsPerRun(500, func() { pt.Run(in) }); avg != 0 {
+		t.Fatalf("traced Run: %v allocs/op, want 0", avg)
 	}
 }

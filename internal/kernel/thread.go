@@ -91,6 +91,18 @@ func (t *Thread) CPUTime() sim.Time {
 // State reports the thread's scheduling state.
 func (t *Thread) State() ThreadState { return t.state }
 
+// LastWakeAt reports when the thread last became runnable (its runqueue
+// entry time). Request tracers read it, paired with DispatchedAt, to
+// measure runqueue wait without the kernel knowing about tracing.
+func (t *Thread) LastWakeAt() sim.Time { return t.waitingSince }
+
+// DispatchedAt reports when the thread's current (or most recent)
+// on-CPU span began, after context-switch cost.
+func (t *Thread) DispatchedAt() sim.Time { return t.dispatchedAt }
+
+// LastCPU reports the CPU the thread last ran (or is running) on.
+func (t *Thread) LastCPU() CPUID { return t.lastCPU }
+
 // OnCPU returns the CPU currently running the thread, or -1.
 func (t *Thread) OnCPU() CPUID {
 	if t.cpu == nil {

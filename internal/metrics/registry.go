@@ -13,6 +13,10 @@ import (
 type Counter struct {
 	name string
 	v    atomic.Uint64
+	// prev is the value at the last SnapshotDelta, so repeated stats
+	// calls can report interval rates without resetting the counter
+	// itself (the cumulative value stays monotone for other readers).
+	prev atomic.Uint64
 }
 
 // Add increments the counter by d.
@@ -26,6 +30,17 @@ func (c *Counter) Load() uint64 { return c.v.Load() }
 
 // Name returns the registered name.
 func (c *Counter) Name() string { return c.name }
+
+// SnapshotDelta returns the increase since the previous SnapshotDelta
+// (or since creation, on the first call) and marks the current value as
+// the new baseline. The counter itself is not reset. Safe for
+// concurrent use with Add/Inc; concurrent SnapshotDelta callers
+// partition the increase between them (each increment is reported by
+// exactly one caller).
+func (c *Counter) SnapshotDelta() uint64 {
+	cur := c.v.Load()
+	return cur - c.prev.Swap(cur)
+}
 
 var (
 	registryMu sync.Mutex
@@ -62,6 +77,83 @@ func CounterNames() []string {
 	registryMu.Lock()
 	names := make([]string, 0, len(registry))
 	for name := range registry {
+		names = append(names, name)
+	}
+	registryMu.Unlock()
+	sort.Strings(names)
+	return names
+}
+
+// CounterValue is one entry of a sorted counter snapshot.
+type CounterValue struct {
+	Name  string
+	Value uint64
+}
+
+// CountersSorted snapshots every registered counter as a name-sorted
+// slice: the deterministic form for stats output, shutdown summaries,
+// and golden tests (ranging over the map form is randomized).
+func CountersSorted() []CounterValue {
+	registryMu.Lock()
+	out := make([]CounterValue, 0, len(registry))
+	for name, c := range registry {
+		out = append(out, CounterValue{Name: name, Value: c.Load()})
+	}
+	registryMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// CountersDelta snapshots every registered counter's increase since its
+// previous delta snapshot (see Counter.SnapshotDelta), for interval
+// rates across repeated stats calls.
+func CountersDelta() map[string]uint64 {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	out := make(map[string]uint64, len(registry))
+	for name, c := range registry {
+		out[name] = c.SnapshotDelta()
+	}
+	return out
+}
+
+// Histogram registry: long-running surfaces (cmd/syrupd) register their
+// latency histograms here so the stats op can fold percentiles in next
+// to the counters. Unlike counters, histograms are not thread-safe —
+// registering one hands the stats reader a reference, so the owner must
+// serialize its Record calls against stats snapshots (syrupd's server
+// already holds its big lock across Handle).
+var histograms = map[string]*Histogram{}
+
+// RegisterHistogram registers h under name, replacing any previous
+// registration (the last generation wins across warmup/measure resets).
+func RegisterHistogram(name string, h *Histogram) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if h == nil {
+		delete(histograms, name)
+		return
+	}
+	histograms[name] = h
+}
+
+// Histograms snapshots the registered histogram set (the map is a copy;
+// the histograms are shared references).
+func Histograms() map[string]*Histogram {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	out := make(map[string]*Histogram, len(histograms))
+	for name, h := range histograms {
+		out[name] = h
+	}
+	return out
+}
+
+// HistogramNames lists registered histogram names, sorted.
+func HistogramNames() []string {
+	registryMu.Lock()
+	names := make([]string, 0, len(histograms))
+	for name := range histograms {
 		names = append(names, name)
 	}
 	registryMu.Unlock()

@@ -1,0 +1,144 @@
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestSnapshotDelta(t *testing.T) {
+	c := NewCounter("t_delta_basic")
+	c.Add(10)
+	if d := c.SnapshotDelta(); d != 10 {
+		t.Fatalf("first delta = %d, want 10", d)
+	}
+	if d := c.SnapshotDelta(); d != 0 {
+		t.Fatalf("idle delta = %d, want 0", d)
+	}
+	c.Add(3)
+	c.Inc()
+	if d := c.SnapshotDelta(); d != 4 {
+		t.Fatalf("second delta = %d, want 4", d)
+	}
+	// The cumulative value is untouched by delta snapshots.
+	if c.Load() != 14 {
+		t.Fatalf("Load = %d, want 14", c.Load())
+	}
+}
+
+// TestSnapshotDeltaConcurrent covers the concurrent case the satellite
+// asks for: increments racing with delta snapshots must never be lost
+// or double-counted — the deltas plus the final residue always sum to
+// the total number of increments. Run under `make trace-check` with
+// -race.
+func TestSnapshotDeltaConcurrent(t *testing.T) {
+	c := NewCounter("t_delta_race")
+	const writers = 4
+	const perWriter = 10000
+
+	var writersWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func() {
+			defer writersWG.Done()
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+			}
+		}()
+	}
+
+	// Snapshot loop racing the writers; collected is only touched here
+	// and read after the goroutine exits.
+	var collected uint64
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				collected += c.SnapshotDelta()
+			}
+		}
+	}()
+
+	writersWG.Wait()
+	close(stop)
+	<-done
+
+	residue := c.SnapshotDelta()
+	if got := collected + residue; got != writers*perWriter {
+		t.Fatalf("deltas sum to %d, want %d", got, writers*perWriter)
+	}
+	if c.Load() != writers*perWriter {
+		t.Fatalf("Load = %d, want %d", c.Load(), writers*perWriter)
+	}
+}
+
+func TestCountersSortedDeterministic(t *testing.T) {
+	NewCounter("t_sorted_b").Add(2)
+	NewCounter("t_sorted_a").Add(1)
+	s := CountersSorted()
+	if !sort.SliceIsSorted(s, func(i, j int) bool { return s[i].Name < s[j].Name }) {
+		t.Fatal("CountersSorted is not name-sorted")
+	}
+	// Same content as the map form.
+	m := Counters()
+	if len(s) != len(m) {
+		t.Fatalf("slice has %d entries, map %d", len(s), len(m))
+	}
+	for _, cv := range s {
+		if m[cv.Name] != cv.Value {
+			t.Fatalf("%s: slice %d != map %d", cv.Name, cv.Value, m[cv.Name])
+		}
+	}
+	// And stable across calls.
+	s2 := CountersSorted()
+	for i := range s {
+		if s[i].Name != s2[i].Name {
+			t.Fatalf("order changed between calls at %d: %s vs %s", i, s[i].Name, s2[i].Name)
+		}
+	}
+}
+
+func TestCountersDelta(t *testing.T) {
+	c := NewCounter("t_counters_delta")
+	c.Add(5)
+	if d := CountersDelta()["t_counters_delta"]; d != 5 {
+		t.Fatalf("registry delta = %d, want 5", d)
+	}
+	if d := CountersDelta()["t_counters_delta"]; d != 0 {
+		t.Fatalf("repeat registry delta = %d, want 0", d)
+	}
+}
+
+func TestHistogramRegistry(t *testing.T) {
+	h := NewHistogram()
+	h.Record(100)
+	RegisterHistogram("t_hist", h)
+	if got := Histograms()["t_hist"]; got != h {
+		t.Fatal("histogram not registered")
+	}
+	names := HistogramNames()
+	found := false
+	for _, n := range names {
+		if n == "t_hist" {
+			found = true
+		}
+	}
+	if !found || !sort.StringsAreSorted(names) {
+		t.Fatalf("HistogramNames = %v", names)
+	}
+	// Re-registering replaces; nil unregisters.
+	h2 := NewHistogram()
+	RegisterHistogram("t_hist", h2)
+	if Histograms()["t_hist"] != h2 {
+		t.Fatal("re-register did not replace")
+	}
+	RegisterHistogram("t_hist", nil)
+	if _, ok := Histograms()["t_hist"]; ok {
+		t.Fatal("nil register did not remove")
+	}
+}

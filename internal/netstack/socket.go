@@ -219,31 +219,31 @@ const (
 
 // selectSocket picks the destination socket for pkt: the attached policy's
 // verdict, or hash-based selection (vanilla Linux reuseport) otherwise.
-func (g *ReuseportGroup) selectSocket(pkt *nic.Packet, hash uint32, env *ebpf.Env) (*Socket, selectResult) {
+// The returned index is the chosen executor's slot (-1 unless selected),
+// which trace spans report as the routing decision.
+func (g *ReuseportGroup) selectSocket(pkt *nic.Packet, hash uint32, env *ebpf.Env) (*Socket, int, selectResult) {
 	if len(g.sockets) == 0 {
-		return nil, noExecutor
+		return nil, -1, noExecutor
 	}
-	defaultPick := func() *Socket {
-		return g.sockets[hash%uint32(len(g.sockets))]
-	}
+	defaultIdx := int(hash % uint32(len(g.sockets)))
 	if !g.point.Attached() {
-		return defaultPick(), selected
+		return g.sockets[defaultIdx], defaultIdx, selected
 	}
 	g.PolicyRuns++
-	v := g.point.Run(hook.Input{Packet: pkt.Bytes(), Hash: hash, Port: uint32(pkt.DstPort), Queue: uint32(pkt.Queue), Env: env})
+	v := g.point.Run(hook.Input{Packet: pkt.Bytes(), Hash: hash, Port: uint32(pkt.DstPort), Queue: uint32(pkt.Queue), Req: pkt.ID, Env: env})
 	switch {
 	case v.Faulted || v.Action == hook.Pass:
 		// A fault fails open like the kernel (counted by the hook point's
 		// fault counters, so verifier escapes stay visible).
 		g.PolicyPasses++
-		return defaultPick(), selected
+		return g.sockets[defaultIdx], defaultIdx, selected
 	case v.Action == hook.Drop:
 		g.PolicyDrops++
-		return nil, dropped
+		return nil, -1, dropped
 	case int(v.Index) < len(g.sockets):
-		return g.sockets[v.Index], selected
+		return g.sockets[v.Index], int(v.Index), selected
 	default:
 		g.NoExecutor++
-		return nil, noExecutor
+		return nil, -1, noExecutor
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"syrup/internal/hook"
 	"syrup/internal/nic"
 	"syrup/internal/sim"
+	"syrup/internal/trace"
 )
 
 // Config sets the stack's per-packet cost model and queue bounds. Zero
@@ -115,6 +116,10 @@ type Stack struct {
 	ingressCB sim.Callback
 	protoCB   sim.Callback
 
+	// tracer, when enabled, receives StageSoftirq and StageProto spans
+	// per packet; it also fans out to every hook point the stack owns.
+	tracer *trace.Recorder
+
 	Stats Stats
 }
 
@@ -169,6 +174,33 @@ func max(a, b int) int {
 	return b
 }
 
+// SetTracer wires the request tracer through the receive path: the
+// stack records softirq and protocol spans, and every hook point it
+// owns — XDP, CPU Redirect, and each group's Socket Select, including
+// groups created later — records its verdicts.
+func (s *Stack) SetTracer(r *trace.Recorder) {
+	s.tracer = r
+	s.xdp.SetTracer(r, s.eng.Now)
+	s.cpuRedirect.SetTracer(r, s.eng.Now)
+	for _, g := range s.groups {
+		g.point.SetTracer(r, s.eng.Now)
+	}
+	for _, g := range s.tcpGroups {
+		g.point.SetTracer(r, s.eng.Now)
+	}
+}
+
+// traceSpan records one lifecycle stage span ending now.
+func (s *Stack) traceSpan(pkt *nic.Packet, stage trace.Stage, start sim.Time, cpu int, v trace.Verdict, exec uint32) {
+	if !s.tracer.Enabled() {
+		return
+	}
+	s.tracer.Record(trace.Span{
+		Req: pkt.ID, Start: start, End: s.eng.Now(), Stage: stage,
+		Verdict: v, CPU: int32(cpu), Executor: exec, Port: pkt.DstPort,
+	})
+}
+
 // XDP exposes the XDP hook point; syrupd attaches through it (pairing the
 // attachment with SetXDPMode).
 func (s *Stack) XDP() *hook.Point { return s.xdp }
@@ -210,6 +242,9 @@ func (s *Stack) Group(port uint16, app uint32) *ReuseportGroup {
 		return g
 	}
 	g := NewReuseportGroup(port, app)
+	if s.tracer != nil {
+		g.point.SetTracer(s.tracer, s.eng.Now)
+	}
 	s.groups[port] = g
 	return g
 }
@@ -223,6 +258,9 @@ func (s *Stack) TCPGroup(port uint16, app uint32) *TCPGroup {
 		return g
 	}
 	g := NewTCPGroup(port, app)
+	if s.tracer != nil {
+		g.point.SetTracer(s.tracer, s.eng.Now)
+	}
 	s.tcpGroups[port] = g
 	return g
 }
@@ -257,9 +295,11 @@ func (s *Stack) SocketQueueCap() int { return s.cfg.SocketQueueCap }
 // Deliver is the NIC→host handoff (nic.DeliverFunc). The packet is
 // processed serially on its queue's softirq core.
 func (s *Stack) Deliver(queue int, pkt *nic.Packet) {
+	pkt.SoftirqAt = s.eng.Now()
 	core := &s.cores[queue]
 	if core.backlog >= s.cfg.BacklogCap {
 		s.Stats.BacklogDrops++
+		s.traceSpan(pkt, trace.StageSoftirq, pkt.SoftirqAt, queue, trace.VerdictDrop, 0)
 		if s.dev != nil {
 			s.dev.Consumed(queue)
 		}
@@ -294,12 +334,13 @@ func (s *Stack) Deliver(queue int, pkt *nic.Packet) {
 func (s *Stack) afterIngress(queue int, pkt *nic.Packet) {
 	s.Stats.Processed++
 	if s.xdpMode != XDPNone && s.xdp.Attached() {
-		v := s.xdp.Run(hook.Input{Packet: pkt.Bytes(), Hash: pkt.RSSHash(), Port: uint32(pkt.DstPort), Queue: uint32(queue), Env: s.envs[queue]})
+		v := s.xdp.Run(hook.Input{Packet: pkt.Bytes(), Hash: pkt.RSSHash(), Port: uint32(pkt.DstPort), Queue: uint32(queue), Req: pkt.ID, Env: s.envs[queue]})
 		switch {
 		case v.Faulted || v.Action == hook.Pass:
 			// fail-open / PASS: continue up the stack
 		case v.Action == hook.Drop:
 			s.Stats.XSKDrops++
+			s.traceSpan(pkt, trace.StageSoftirq, pkt.SoftirqAt, queue, trace.VerdictDrop, 0)
 			return
 		default:
 			var table []*Socket
@@ -308,8 +349,13 @@ func (s *Stack) afterIngress(queue int, pkt *nic.Packet) {
 			}
 			if int(v.Index) >= len(table) {
 				s.Stats.NoExecutorDrops++
+				s.traceSpan(pkt, trace.StageSoftirq, pkt.SoftirqAt, queue, trace.VerdictDrop, 0)
 				return
 			}
+			// AF_XDP delivery bypasses protocol processing: the softirq
+			// span ends at the socket enqueue.
+			s.traceSpan(pkt, trace.StageSoftirq, pkt.SoftirqAt, queue, trace.VerdictSteer, v.Index)
+			pkt.EnqueuedAt = s.eng.Now()
 			if !table[v.Index].Enqueue(pkt) {
 				s.Stats.XSKDrops++
 				return
@@ -322,18 +368,25 @@ func (s *Stack) afterIngress(queue int, pkt *nic.Packet) {
 	// CPU Redirect hook: choose the core for protocol processing.
 	protoCore := queue
 	if s.cpuRedirect.Attached() {
-		v := s.cpuRedirect.Run(hook.Input{Packet: pkt.Bytes(), Hash: pkt.RSSHash(), Port: uint32(pkt.DstPort), Queue: uint32(queue), Env: s.envs[queue]})
+		v := s.cpuRedirect.Run(hook.Input{Packet: pkt.Bytes(), Hash: pkt.RSSHash(), Port: uint32(pkt.DstPort), Queue: uint32(queue), Req: pkt.ID, Env: s.envs[queue]})
 		switch {
 		case v.Faulted || v.Action == hook.Pass:
 		case v.Action == hook.Drop:
 			s.Stats.PolicyDrops++
+			s.traceSpan(pkt, trace.StageSoftirq, pkt.SoftirqAt, queue, trace.VerdictDrop, 0)
 			return
 		case int(v.Index) < len(s.cores):
 			protoCore = int(v.Index)
 		default:
 			s.Stats.NoExecutorDrops++
+			s.traceSpan(pkt, trace.StageSoftirq, pkt.SoftirqAt, queue, trace.VerdictDrop, 0)
 			return
 		}
+	}
+	if protoCore != queue {
+		s.traceSpan(pkt, trace.StageSoftirq, pkt.SoftirqAt, queue, trace.VerdictSteer, uint32(protoCore))
+	} else {
+		s.traceSpan(pkt, trace.StageSoftirq, pkt.SoftirqAt, queue, trace.VerdictNone, 0)
 	}
 	s.protocolStage(protoCore, pkt)
 }
@@ -354,6 +407,7 @@ func (s *Stack) protocolStage(core int, pkt *nic.Packet) {
 		cost += s.cfg.PolicyRunCost
 	}
 	now := s.eng.Now()
+	pkt.ProtoAt = now
 	start := c.busyUntil
 	if start < now {
 		start = now
@@ -370,23 +424,33 @@ func (s *Stack) protocolDeliver(core int, pkt *nic.Packet) {
 		tg, ok := s.tcpGroups[pkt.DstPort]
 		if !ok {
 			s.Stats.NoGroupDrops++
+			s.traceSpan(pkt, trace.StageProto, pkt.ProtoAt, core, trace.VerdictDrop, 0)
 			return
 		}
+		// Framed requests enqueue at this instant; deliverRequest copies
+		// the stamp onto each request packet it cuts from the stream.
+		pkt.EnqueuedAt = s.eng.Now()
+		s.traceSpan(pkt, trace.StageProto, pkt.ProtoAt, core, trace.VerdictNone, 0)
 		tg.HandleSegment(pkt, pkt.RSSHash(), s.envs[core])
 		return
 	}
 	g, ok := s.groups[pkt.DstPort]
 	if !ok {
 		s.Stats.NoGroupDrops++
+		s.traceSpan(pkt, trace.StageProto, pkt.ProtoAt, core, trace.VerdictDrop, 0)
 		return
 	}
-	sock, res := g.selectSocket(pkt, pkt.RSSHash(), s.envs[core])
+	sock, idx, res := g.selectSocket(pkt, pkt.RSSHash(), s.envs[core])
 	switch res {
 	case dropped:
 		s.Stats.PolicyDrops++
+		s.traceSpan(pkt, trace.StageProto, pkt.ProtoAt, core, trace.VerdictDrop, 0)
 	case noExecutor:
 		s.Stats.NoExecutorDrops++
+		s.traceSpan(pkt, trace.StageProto, pkt.ProtoAt, core, trace.VerdictDrop, 0)
 	case selected:
+		s.traceSpan(pkt, trace.StageProto, pkt.ProtoAt, core, trace.VerdictSteer, uint32(idx))
+		pkt.EnqueuedAt = s.eng.Now()
 		if g.lateBinding {
 			if !g.lateEnqueue(pkt) {
 				s.Stats.SocketDrops++

@@ -205,6 +205,10 @@ func (g *TCPGroup) deliverRequest(c *Conn, pkt *nic.Packet, body []byte, hash ui
 		ID: pkt.ID, SrcIP: pkt.SrcIP, DstIP: pkt.DstIP,
 		SrcPort: pkt.SrcPort, DstPort: pkt.DstPort,
 		Payload: body, SentAt: pkt.SentAt,
+		// Carry the trace stamps so the framed request's socket span
+		// starts at the segment's delivery instant.
+		ArrivedAt: pkt.ArrivedAt, SoftirqAt: pkt.SoftirqAt,
+		ProtoAt: pkt.ProtoAt, EnqueuedAt: pkt.EnqueuedAt,
 	}
 	target := c.Listener
 	if g.kcm {
@@ -228,7 +232,7 @@ func (g *TCPGroup) selectListener(pkt *nic.Packet, hash uint32, env *ebpf.Env) *
 	if !g.point.Attached() {
 		return g.listeners[hash%uint32(len(g.listeners))]
 	}
-	v := g.point.Run(hook.Input{Packet: pkt.Bytes(), Hash: hash, Port: uint32(pkt.DstPort), Queue: uint32(pkt.Queue), Env: env})
+	v := g.point.Run(hook.Input{Packet: pkt.Bytes(), Hash: hash, Port: uint32(pkt.DstPort), Queue: uint32(pkt.Queue), Req: pkt.ID, Env: env})
 	switch {
 	case v.Faulted || v.Action == hook.Pass:
 		return g.listeners[hash%uint32(len(g.listeners))]

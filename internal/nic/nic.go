@@ -15,6 +15,7 @@ import (
 	"syrup/internal/ebpf"
 	"syrup/internal/hook"
 	"syrup/internal/sim"
+	"syrup/internal/trace"
 )
 
 // Packet is one network frame moving through the simulated host. The bytes
@@ -40,6 +41,13 @@ type Packet struct {
 	SentAt sim.Time
 	// ArrivedAt is stamped by the NIC on reception.
 	ArrivedAt sim.Time
+	// SoftirqAt, ProtoAt, and EnqueuedAt are trace stamps marking the
+	// start of softirq work, the start of protocol processing, and the
+	// socket enqueue; layers fill them only when tracing so per-stage
+	// spans have exact boundaries (zero when tracing is off).
+	SoftirqAt  sim.Time
+	ProtoAt    sim.Time
+	EnqueuedAt sim.Time
 	// Queue is the RX queue the NIC placed the packet on.
 	Queue int
 
@@ -148,6 +156,10 @@ type NIC struct {
 	// without allocating.
 	deliverCB sim.Callback
 
+	// tracer, when enabled, receives one StageNIC span per packet
+	// (arrival to ring handoff, including offload-engine latency).
+	tracer *trace.Recorder
+
 	Stats Stats
 }
 
@@ -177,6 +189,14 @@ func (n *NIC) HostMapRTT() sim.Time { return n.cfg.HostMapRTT }
 // Offload exposes the XDP Offload hook point; syrupd attaches through it.
 func (n *NIC) Offload() *hook.Point { return n.offload }
 
+// SetTracer wires the request tracer through the device: the NIC
+// records arrival→handoff spans and the offload hook point records its
+// verdicts.
+func (n *NIC) SetTracer(r *trace.Recorder) {
+	n.tracer = r
+	n.offload.SetTracer(r, n.eng.Now)
+}
+
 // SetOffloadProgram installs the XDP Offload hook program (nil clears),
 // attaching/replacing/detaching through the hook point. The program's
 // verdict selects the RX queue; PASS falls back to RSS; DROP discards the
@@ -201,12 +221,14 @@ func (n *NIC) Receive(pkt *Packet) {
 			Hash:   hash,
 			Port:   uint32(pkt.DstPort),
 			Queue:  uint32(queue),
+			Req:    pkt.ID,
 		})
 		switch {
 		case v.Faulted:
 			n.Stats.OffloadFaults++ // fail open: keep RSS choice
 		case v.Action == hook.Drop:
 			n.Stats.DroppedByXDP++
+			n.traceNIC(pkt, pkt.ArrivedAt, queue, trace.VerdictDrop)
 			return
 		case v.Action == hook.Pass:
 			// keep RSS choice
@@ -215,17 +237,33 @@ func (n *NIC) Receive(pkt *Packet) {
 		default:
 			// Out-of-range executor index: no such queue.
 			n.Stats.DroppedByXDP++
+			n.traceNIC(pkt, pkt.ArrivedAt, queue, trace.VerdictDrop)
 			return
 		}
 	}
 
 	if n.inflight[queue] >= n.cfg.RingSize {
 		n.Stats.DroppedRing++
+		n.traceNIC(pkt, pkt.ArrivedAt, queue, trace.VerdictDrop)
 		return
 	}
 	n.inflight[queue]++
 	pkt.Queue = queue
+	n.traceNIC(pkt, pkt.ArrivedAt+extra, queue, trace.VerdictNone)
 	n.eng.CallAfter(extra, n.deliverCB, pkt, uint64(queue))
+}
+
+// traceNIC records the packet's StageNIC span: arrival to ring handoff
+// (end includes the offload engine's added latency); drops end at the
+// drop decision with a drop verdict.
+func (n *NIC) traceNIC(pkt *Packet, end sim.Time, queue int, v trace.Verdict) {
+	if !n.tracer.Enabled() {
+		return
+	}
+	n.tracer.Record(trace.Span{
+		Req: pkt.ID, Start: pkt.ArrivedAt, End: end, Stage: trace.StageNIC,
+		Verdict: v, CPU: int32(queue), Port: pkt.DstPort,
+	})
 }
 
 // Consumed tells the NIC the host finished taking a packet off a ring.

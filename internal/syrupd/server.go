@@ -9,6 +9,7 @@ import (
 
 	"syrup/internal/metrics"
 	"syrup/internal/policy"
+	"syrup/internal/trace"
 )
 
 // This file implements syrupd's control protocol: newline-delimited JSON
@@ -18,7 +19,7 @@ import (
 
 // Request is one client command.
 type Request struct {
-	Op string `json:"op"` // register_app | deploy | revoke_app | links | map_lookup | map_update | list_policies | stats
+	Op string `json:"op"` // register_app | deploy | revoke_app | links | map_lookup | map_update | list_policies | stats | trace
 
 	// register_app
 	App   uint32   `json:"app,omitempty"`
@@ -35,6 +36,15 @@ type Request struct {
 	Path  string `json:"path,omitempty"`
 	Key   uint32 `json:"key,omitempty"`
 	Value uint64 `json:"value,omitempty"`
+
+	// trace: Port filters spans to one destination port (0 = all; App
+	// filters to all of an app's ports) and Max caps the reply (0 = all).
+	Port uint16 `json:"port,omitempty"`
+	Max  int    `json:"max,omitempty"`
+
+	// stats: Delta reports counters as increments since the previous
+	// Delta snapshot instead of cumulative totals.
+	Delta bool `json:"delta,omitempty"`
 }
 
 // Response is the server's reply.
@@ -58,6 +68,11 @@ type Response struct {
 
 	// stats
 	Stats map[string]float64 `json:"stats,omitempty"`
+
+	// trace
+	Spans   []trace.SpanJSON `json:"spans,omitempty"`
+	Total   uint64           `json:"total,omitempty"`   // spans recorded since Reset
+	Dropped uint64           `json:"dropped,omitempty"` // overwritten by the ring
 }
 
 // Server serves the control protocol for one Daemon. All handling is
@@ -205,9 +220,54 @@ func (s *Server) Handle(req *Request) Response {
 		}
 		// Fold in the process-wide counter registry (eBPF dispatch
 		// counters and friends) without clobbering host-supplied keys.
-		for name, v := range metrics.Counters() {
+		// Delta mode reports each counter's increment since the previous
+		// delta snapshot instead of its cumulative total.
+		counters := metrics.Counters()
+		if req.Delta {
+			counters = metrics.CountersDelta()
+		}
+		for name, v := range counters {
 			if _, taken := resp.Stats[name]; !taken {
 				resp.Stats[name] = float64(v)
+			}
+		}
+		// Fold in registered histograms as <name>_{count,p50_us,p99_us,
+		// p999_us} (see DESIGN.md, "Stats key namespace").
+		for name, h := range metrics.Histograms() {
+			sum := h.Summarize()
+			putStat(resp.Stats, name+"_count", float64(sum.Count))
+			putStat(resp.Stats, name+"_p50_us", float64(sum.P50)/1e3)
+			putStat(resp.Stats, name+"_p99_us", float64(sum.P99)/1e3)
+			putStat(resp.Stats, name+"_p999_us", float64(sum.P999)/1e3)
+		}
+		return resp
+	case "trace":
+		r := s.d.Tracer()
+		if r == nil {
+			return errResp(fmt.Errorf("syrupd: tracing is not enabled on this host"))
+		}
+		var ports map[uint16]bool
+		if req.App != 0 {
+			app := s.d.App(req.App)
+			if app == nil {
+				return errResp(fmt.Errorf("syrupd: unknown app %d", req.App))
+			}
+			ports = make(map[uint16]bool, len(app.Ports))
+			for _, p := range app.Ports {
+				ports[p] = true
+			}
+		}
+		resp := Response{OK: true, Total: r.Total(), Dropped: r.Dropped()}
+		for _, sp := range r.Spans() {
+			if req.Port != 0 && sp.Port != req.Port {
+				continue
+			}
+			if ports != nil && !ports[sp.Port] {
+				continue
+			}
+			resp.Spans = append(resp.Spans, sp.JSON())
+			if req.Max > 0 && len(resp.Spans) >= req.Max {
+				break
 			}
 		}
 		return resp
@@ -216,6 +276,14 @@ func (s *Server) Handle(req *Request) Response {
 }
 
 func errResp(err error) Response { return Response{Error: err.Error()} }
+
+// putStat sets a derived stats key unless the host's StatsFunc already
+// claimed it.
+func putStat(m map[string]float64, key string, v float64) {
+	if _, taken := m[key]; !taken {
+		m[key] = v
+	}
+}
 
 // Client is a minimal protocol client for tools and tests.
 type Client struct {

@@ -4,6 +4,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"syrup/internal/metrics"
+	"syrup/internal/trace"
 )
 
 func TestServerHandleInProcess(t *testing.T) {
@@ -134,6 +137,130 @@ func TestServerLinksAndRevokeOps(t *testing.T) {
 	resp = srv.Handle(&Request{Op: "links"})
 	if len(resp.Links) != 1 || resp.Links[0].App != 2 {
 		t.Fatalf("links after revoke: %+v", resp)
+	}
+}
+
+func TestServerTraceOp(t *testing.T) {
+	h := newHost(t, 1, 0)
+	srv := NewServer(h.d)
+
+	// Without a tracer the op reports a clean error.
+	if resp := srv.Handle(&Request{Op: "trace"}); resp.OK {
+		t.Fatal("trace op succeeded without a tracer")
+	}
+
+	r := trace.New(64)
+	h.dev.SetTracer(r)
+	h.stack.SetTracer(r)
+	h.d.SetTracer(r)
+
+	srv.Handle(&Request{Op: "register_app", App: 1, UID: 1000, Ports: []uint16{9000}})
+	srv.Handle(&Request{Op: "register_app", App: 2, UID: 1001, Ports: []uint16{9001}})
+	h.stack.NewUDPSocket(9000, 1, "w")
+	h.stack.NewUDPSocket(9001, 2, "w")
+
+	for i := 0; i < 3; i++ {
+		h.dev.Receive(pkt(uint64(100+i), 1, 9000, nil))
+	}
+	h.dev.Receive(pkt(200, 1, 9001, nil))
+	h.eng.Run()
+
+	// Unfiltered: every span the ring holds.
+	resp := srv.Handle(&Request{Op: "trace"})
+	if !resp.OK || len(resp.Spans) == 0 {
+		t.Fatalf("trace: %+v", resp)
+	}
+	if resp.Total != uint64(len(resp.Spans)) || resp.Dropped != 0 {
+		t.Fatalf("trace accounting: total=%d dropped=%d spans=%d", resp.Total, resp.Dropped, len(resp.Spans))
+	}
+	stages := map[string]bool{}
+	for _, sp := range resp.Spans {
+		stages[sp.Stage] = true
+	}
+	for _, want := range []string{"nic", "softirq", "proto"} {
+		if !stages[want] {
+			t.Fatalf("stage %q missing from trace; have %v", want, stages)
+		}
+	}
+
+	// Port filter.
+	resp = srv.Handle(&Request{Op: "trace", Port: 9001})
+	if !resp.OK || len(resp.Spans) == 0 {
+		t.Fatalf("port filter: %+v", resp)
+	}
+	for _, sp := range resp.Spans {
+		if sp.Port != 9001 {
+			t.Fatalf("port filter leaked span %+v", sp)
+		}
+	}
+
+	// App filter restricts to the app's ports.
+	resp = srv.Handle(&Request{Op: "trace", App: 1})
+	if !resp.OK || len(resp.Spans) == 0 {
+		t.Fatalf("app filter: %+v", resp)
+	}
+	for _, sp := range resp.Spans {
+		if sp.Port != 9000 {
+			t.Fatalf("app filter leaked span %+v", sp)
+		}
+	}
+	if resp := srv.Handle(&Request{Op: "trace", App: 9}); resp.OK {
+		t.Fatal("trace for unknown app accepted")
+	}
+
+	// Max caps the reply.
+	resp = srv.Handle(&Request{Op: "trace", Max: 2})
+	if !resp.OK || len(resp.Spans) != 2 {
+		t.Fatalf("max cap: got %d spans", len(resp.Spans))
+	}
+}
+
+func TestServerStatsHistogramsAndDelta(t *testing.T) {
+	h := newHost(t, 1, 0)
+	srv := NewServer(h.d)
+
+	hist := metrics.NewHistogram()
+	for i := 0; i < 100; i++ {
+		hist.Record(50_000) // 50 µs
+	}
+	metrics.RegisterHistogram("srvtest_lat", hist)
+	t.Cleanup(func() { metrics.RegisterHistogram("srvtest_lat", nil) })
+
+	stats := srv.Handle(&Request{Op: "stats"}).Stats
+	if stats["srvtest_lat_count"] != 100 {
+		t.Fatalf("histogram count missing: %v", stats)
+	}
+	for _, k := range []string{"srvtest_lat_p50_us", "srvtest_lat_p99_us", "srvtest_lat_p999_us"} {
+		// Exact bucket boundaries are the histogram's business; the stats
+		// op just needs to land near 50 µs.
+		if v := stats[k]; v < 45 || v > 55 {
+			t.Fatalf("%s = %v, want ≈50", k, v)
+		}
+	}
+
+	// StatsFunc keys win over derived histogram keys.
+	srv.StatsFunc = func() map[string]float64 { return map[string]float64{"srvtest_lat_p50_us": -1} }
+	if v := srv.Handle(&Request{Op: "stats"}).Stats["srvtest_lat_p50_us"]; v != -1 {
+		t.Fatalf("StatsFunc key clobbered: %v", v)
+	}
+	srv.StatsFunc = nil
+
+	// Delta mode: increments since the previous delta snapshot.
+	c := metrics.NewCounter("srvtest_delta_ctr")
+	srv.Handle(&Request{Op: "stats", Delta: true}) // baseline snapshot
+	c.Add(7)
+	stats = srv.Handle(&Request{Op: "stats", Delta: true}).Stats
+	if stats["srvtest_delta_ctr"] != 7 {
+		t.Fatalf("delta = %v, want 7", stats["srvtest_delta_ctr"])
+	}
+	stats = srv.Handle(&Request{Op: "stats", Delta: true}).Stats
+	if stats["srvtest_delta_ctr"] != 0 {
+		t.Fatalf("second delta = %v, want 0", stats["srvtest_delta_ctr"])
+	}
+	// Cumulative view is untouched by delta snapshots.
+	stats = srv.Handle(&Request{Op: "stats"}).Stats
+	if stats["srvtest_delta_ctr"] != 7 {
+		t.Fatalf("cumulative = %v, want 7", stats["srvtest_delta_ctr"])
 	}
 }
 

@@ -1,0 +1,144 @@
+// Chrome trace_event JSON export: load the output of WriteChrome in
+// chrome://tracing or https://ui.perfetto.dev. The layout is one
+// process (pid 0 = the simulated host), one track (tid) per CPU /
+// queue, "X" complete events per span, "i" instant events for hook
+// verdicts, and one flow ("s"/"t"/"f") per request linking its
+// lifecycle stages across tracks.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one entry in the traceEvents array. Field meanings
+// follow the Trace Event Format spec; ts/dur are microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int64          `json:"tid"`
+	ID   string         `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// usec converts simulated nanoseconds to the microsecond floats the
+// trace viewer expects.
+func usec(ns int64) float64 { return float64(ns) / 1e3 }
+
+// WriteChrome renders spans as Chrome trace_event JSON. Spans are laid
+// out one track per CPU; non-instant lifecycle spans of the same
+// request are linked with flow events so Perfetto draws arrows from
+// NIC arrival through on-CPU service.
+func WriteChrome(w io.Writer, spans []Span) error {
+	events := make([]chromeEvent, 0, 2*len(spans)+16)
+
+	// Metadata: name each CPU track once, sorted for stable output.
+	cpus := map[int32]bool{}
+	for _, s := range spans {
+		cpus[s.CPU] = true
+	}
+	ids := make([]int32, 0, len(cpus))
+	for c := range cpus {
+		ids = append(ids, c)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, c := range ids {
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: 0, TID: int64(c),
+			Args: map[string]any{"name": fmt.Sprintf("cpu%d", c)},
+		})
+	}
+
+	// Per-request lifecycle flows: collect the non-instant datapath
+	// spans of each request, ordered by start time.
+	flows := map[uint64][]int{}
+	for i, s := range spans {
+		if !s.Instant && s.Req != 0 && s.Stage <= StageOnCPU {
+			flows[s.Req] = append(flows[s.Req], i)
+		}
+	}
+
+	for _, s := range spans {
+		args := map[string]any{"req": s.Req}
+		if s.Verdict != VerdictNone {
+			args["verdict"] = s.Verdict.String()
+		}
+		if s.Verdict == VerdictSteer {
+			args["executor"] = s.Executor
+		}
+		if s.Hook != "" {
+			args["hook"] = s.Hook
+		}
+		if s.Policy != "" {
+			args["policy"] = s.Policy
+		}
+		if s.Port != 0 {
+			args["port"] = s.Port
+		}
+		if s.Err {
+			args["error"] = true
+		}
+		if s.Instant {
+			events = append(events, chromeEvent{
+				Name: s.Stage.String(), Cat: s.Stage.Category(), Ph: "i",
+				TS: usec(int64(s.Start)), PID: 0, TID: int64(s.CPU),
+				S: "t", Args: args,
+			})
+			continue
+		}
+		dur := usec(int64(s.End - s.Start))
+		events = append(events, chromeEvent{
+			Name: s.Stage.String(), Cat: s.Stage.Category(), Ph: "X",
+			TS: usec(int64(s.Start)), Dur: &dur, PID: 0, TID: int64(s.CPU),
+			Args: args,
+		})
+	}
+
+	// Emit the flow arrows after the slices, one step per stage
+	// boundary: "s" at the first span, "t" through the middle, "f"
+	// (binding point "e", enclosing slice) at the last.
+	for req, idx := range flows {
+		sort.Slice(idx, func(a, b int) bool {
+			if spans[idx[a]].Start != spans[idx[b]].Start {
+				return spans[idx[a]].Start < spans[idx[b]].Start
+			}
+			return spans[idx[a]].Stage < spans[idx[b]].Stage
+		})
+		if len(idx) < 2 {
+			continue
+		}
+		id := fmt.Sprintf("req%d", req)
+		for n, i := range idx {
+			s := spans[i]
+			ev := chromeEvent{
+				Name: "req", Cat: "flow",
+				TS: usec(int64(s.Start)), PID: 0, TID: int64(s.CPU), ID: id,
+			}
+			switch n {
+			case 0:
+				ev.Ph = "s"
+			case len(idx) - 1:
+				ev.Ph, ev.BP = "f", "e"
+			default:
+				ev.Ph = "t"
+			}
+			events = append(events, ev)
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeFile{TraceEvents: events, DisplayTimeUnit: "ns"})
+}

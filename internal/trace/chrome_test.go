@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"syrup/internal/sim"
+)
+
+// lifecycle records the five datapath stages of one request plus a hook
+// instant, mimicking what the instrumented layers emit.
+func lifecycle(r *Recorder, req uint64, base sim.Time, cpu int32) {
+	t := base
+	for _, st := range Stages {
+		r.Record(Span{Req: req, Start: t, End: t + 1000, Stage: st, CPU: cpu, Port: 9000})
+		t += 1000
+	}
+	// Runqueue wait is contained inside the socket stage in real traces.
+	r.Record(Span{Req: req, Start: base + 3200, End: base + 3800, Stage: StageRunqueue, CPU: cpu})
+	r.Record(Span{Req: req, Start: base + 1500, End: base + 1500, Stage: StageHook,
+		Instant: true, Verdict: VerdictSteer, Executor: 1, CPU: cpu,
+		Hook: "socket_select:9000", Policy: "round_robin"})
+}
+
+func TestWriteChromeValidJSON(t *testing.T) {
+	r := New(128)
+	lifecycle(r, 1, 0, 0)
+	lifecycle(r, 2, 500, 1)
+
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, r.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Unit        string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if f.Unit != "ns" {
+		t.Fatalf("displayTimeUnit = %q", f.Unit)
+	}
+
+	cats := map[string]bool{}
+	phases := map[string]int{}
+	tracks := map[float64]bool{}
+	flowIDs := map[string]bool{}
+	for _, ev := range f.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		phases[ph]++
+		if c, ok := ev["cat"].(string); ok && ph == "X" {
+			cats[c] = true
+		}
+		if tid, ok := ev["tid"].(float64); ok {
+			tracks[tid] = true
+		}
+		if ph == "s" || ph == "t" || ph == "f" {
+			flowIDs[ev["id"].(string)] = true
+		}
+	}
+	// Acceptance: >= 5 distinct stage categories on complete events.
+	for _, want := range []string{"nic", "netstack", "socket", "runqueue", "oncpu"} {
+		if !cats[want] {
+			t.Fatalf("category %q missing; have %v", want, cats)
+		}
+	}
+	// One track per CPU, named via metadata events.
+	if !tracks[0] || !tracks[1] {
+		t.Fatalf("CPU tracks missing: %v", tracks)
+	}
+	if phases["M"] < 2 {
+		t.Fatalf("thread_name metadata missing: %v", phases)
+	}
+	// Per-request flows: one start and one finish per request.
+	if len(flowIDs) != 2 || !flowIDs["req1"] || !flowIDs["req2"] {
+		t.Fatalf("flow ids = %v, want req1 and req2", flowIDs)
+	}
+	// Six flow spans per request (five datapath stages + runqueue).
+	if phases["s"] != 2 || phases["f"] != 2 || phases["t"] != 2*(len(Stages)-1) {
+		t.Fatalf("flow phases wrong: %v", phases)
+	}
+	// The hook verdict surfaced as an instant event.
+	if phases["i"] != 2 {
+		t.Fatalf("instant events = %d, want 2", phases["i"])
+	}
+}
+
+func TestWriteChromeTimesInMicros(t *testing.T) {
+	r := New(8)
+	r.Record(Span{Req: 1, Start: 2500, End: 4500, Stage: StageOnCPU, CPU: 3})
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, r.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range f.TraceEvents {
+		if ev["ph"] == "X" {
+			if ev["ts"].(float64) != 2.5 || ev["dur"].(float64) != 2.0 {
+				t.Fatalf("ts/dur not microseconds: %v", ev)
+			}
+			return
+		}
+	}
+	t.Fatal("no complete event emitted")
+}
+
+func TestWriteChromeEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("empty export is not valid JSON")
+	}
+}

@@ -18,6 +18,7 @@
 package syrup
 
 import (
+	"io"
 	"os"
 
 	"syrup/internal/ebpf"
@@ -30,6 +31,7 @@ import (
 	"syrup/internal/sim"
 	"syrup/internal/storage"
 	"syrup/internal/syrupd"
+	"syrup/internal/trace"
 )
 
 // Hook identifies a deployment point across the stack (paper Fig. 4).
@@ -81,6 +83,27 @@ type HostConfig struct {
 	NIC    nic.Config
 	Stack  netstack.Config
 	Kernel kernel.Config
+	// Trace, when set, threads the request tracer through every layer
+	// (NIC, netstack, hook points, ghOSt agents) at construction.
+	// Tracing is off by default; the recorder never schedules events or
+	// consumes randomness, so traced runs are behavior-identical.
+	Trace *trace.Recorder
+}
+
+// TraceRecorder is the cross-stack span recorder (see internal/trace).
+type TraceRecorder = trace.Recorder
+
+// TraceSpan is one recorded lifecycle span.
+type TraceSpan = trace.Span
+
+// NewTraceRecorder creates an enabled recorder whose ring holds
+// capacity spans (<= 0 takes the default).
+func NewTraceRecorder(capacity int) *TraceRecorder { return trace.New(capacity) }
+
+// WriteChromeTrace renders spans as Chrome trace_event JSON for
+// chrome://tracing / Perfetto.
+func WriteChromeTrace(w io.Writer, spans []TraceSpan) error {
+	return trace.WriteChrome(w, spans)
 }
 
 // Host is a simulated end-host running syrupd.
@@ -90,6 +113,9 @@ type Host struct {
 	NIC     *nic.NIC
 	Stack   *netstack.Stack
 	Daemon  *syrupd.Daemon
+	// Tracer is the request tracer wired at construction (nil unless
+	// HostConfig.Trace was set).
+	Tracer *trace.Recorder
 }
 
 // NewHost builds a host: NIC wired to the kernel network stack, CPUs under
@@ -113,13 +139,20 @@ func NewHost(cfg HostConfig) *Host {
 		kcfg.NumCPUs = cfg.NumCPUs
 		machine = kernel.New(eng, kcfg)
 	}
-	return &Host{
+	h := &Host{
 		Eng:     eng,
 		Machine: machine,
 		NIC:     dev,
 		Stack:   stack,
 		Daemon:  syrupd.New(eng, dev, stack, machine),
+		Tracer:  cfg.Trace,
 	}
+	if cfg.Trace != nil {
+		dev.SetTracer(cfg.Trace)
+		stack.SetTracer(cfg.Trace)
+		h.Daemon.SetTracer(cfg.Trace)
+	}
+	return h
 }
 
 // AttachStorage puts a storage device under syrupd's management so apps

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race lint-hooks trace-check alloc-gates check bench bench-dispatch bench-engine fuzz clean
+.PHONY: build test vet race lint-hooks trace-check alloc-gates chaos check bench bench-dispatch bench-engine fuzz clean
 
 build:
 	$(GO) build ./...
@@ -41,9 +41,17 @@ trace-check:
 alloc-gates:
 	$(GO) test -run 'TestZeroAlloc|TestCompiledRunZeroAllocs' -v ./internal/sim/ ./internal/trace/ ./internal/hook/ ./internal/ebpf/ | grep -E '^(=== RUN|--- (PASS|FAIL)|FAIL|ok)'
 
+# Chaos gate (see DESIGN.md "Fault injection and quarantine"): the
+# fault-plan suite plus the syrupd quarantine/revoke tests — including the
+# server ops hammered from racing goroutines — under the race detector,
+# then the experiments-level fall-open and determinism gates.
+chaos:
+	$(GO) test -race ./internal/faults/ ./internal/syrupd/
+	$(GO) test -run 'TestChaos' ./internal/experiments/
+
 # check is the PR gate: build, vet, lint, race-test the VM + hooks +
-# observability, alloc gates, then the full suite.
-check: build vet lint-hooks race trace-check alloc-gates test
+# observability, alloc gates, chaos suite, then the full suite.
+check: build vet lint-hooks race trace-check alloc-gates chaos test
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -11,6 +11,14 @@
 //
 //	syrup-bench -breakdown -load 150000
 //	syrup-bench -trace out.json -load 150000 -scan-pct 0.5 -policy scan_avoid
+//
+// And it can run one chaos comparison — the same point clean and under a
+// fault plan with the quarantine watchdog armed — printing the goodput
+// degradation report:
+//
+//	syrup-bench -faults default -load 150000
+//	syrup-bench -faults 'site=socket-select prob=0.3; site=nic-ring prob=0.01'
+//	syrup-bench -faults @plan.txt -policy scan_avoid
 package main
 
 import (
@@ -19,9 +27,11 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"syrup/internal/experiments"
+	"syrup/internal/faults"
 )
 
 func main() {
@@ -32,19 +42,26 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write an allocation profile to `file` at exit")
 	breakdown := flag.Bool("breakdown", false, "run one traced point and print the per-stage latency breakdown")
 	traceOut := flag.String("trace", "", "run one traced point and write Chrome trace_event JSON to `file`")
-	load := flag.Float64("load", 0, "offered RPS for -breakdown/-trace (default 150000)")
-	scanPct := flag.Float64("scan-pct", 0, "percent SCAN requests for -breakdown/-trace")
-	polName := flag.String("policy", "round_robin", "socket policy for -breakdown/-trace (vanilla|round_robin|scan_avoid|sita)")
-	seed := flag.Uint64("seed", 1, "simulation seed for -breakdown/-trace")
+	faultsPlan := flag.String("faults", "", "run one chaos comparison under this fault `plan` (inline text, @file, or \"default\") and print the degradation report")
+	load := flag.Float64("load", 0, "offered RPS for -breakdown/-trace/-faults (default 150000)")
+	scanPct := flag.Float64("scan-pct", 0, "percent SCAN requests for -breakdown/-trace/-faults")
+	polName := flag.String("policy", "round_robin", "socket policy for -breakdown/-trace/-faults (vanilla|round_robin|scan_avoid|sita)")
+	seed := flag.Uint64("seed", 1, "simulation seed for -breakdown/-trace/-faults")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: syrup-bench [flags] fig2|fig6|fig7|fig8|fig9a|fig9b|table2|table3|ablation-late|ablation-rfs|all\n")
 		fmt.Fprintf(os.Stderr, "       syrup-bench [-fast] -breakdown|-trace file [-load RPS] [-scan-pct P] [-policy NAME] [-seed N]\n")
+		fmt.Fprintf(os.Stderr, "       syrup-bench [-fast] -faults plan|@file|default [-load RPS] [-scan-pct P] [-policy NAME] [-seed N]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 	traced := *breakdown || *traceOut != ""
-	if (flag.NArg() != 1 && !traced) || (flag.NArg() != 0 && traced) {
+	single := traced || *faultsPlan != ""
+	if (flag.NArg() != 1 && !single) || (flag.NArg() != 0 && single) {
 		flag.Usage()
+		os.Exit(2)
+	}
+	if traced && *faultsPlan != "" {
+		fmt.Fprintf(os.Stderr, "syrup-bench: -faults cannot be combined with -breakdown/-trace\n")
 		os.Exit(2)
 	}
 
@@ -82,6 +99,28 @@ func main() {
 				os.Exit(1)
 			}
 		}()
+	}
+
+	if *faultsPlan != "" {
+		plan, err := loadPlan(*faultsPlan)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "faults: %v\n", err)
+			os.Exit(1)
+		}
+		cfg := experiments.ChaosConfig{
+			Seed:    *seed,
+			ScanPct: *scanPct,
+			Policy:  experiments.SocketPolicy(*polName),
+			Plan:    plan,
+			Windows: windows,
+		}
+		if *load > 0 {
+			cfg.Load = *load
+		}
+		start := time.Now()
+		fmt.Print(experiments.RunChaos(cfg).Format())
+		fmt.Printf("\n[chaos comparison completed in %v]\n", time.Since(start).Round(time.Millisecond))
+		return
 	}
 
 	if traced {
@@ -207,6 +246,23 @@ func main() {
 		return
 	}
 	run(flag.Arg(0))
+}
+
+// loadPlan resolves the -faults argument: "default" names the built-in
+// mixed plan, @file reads a plan file, anything else is inline plan text.
+func loadPlan(arg string) (*faults.Plan, error) {
+	if arg == "default" {
+		return experiments.DefaultChaosPlan(), nil
+	}
+	text := arg
+	if strings.HasPrefix(arg, "@") {
+		b, err := os.ReadFile(arg[1:])
+		if err != nil {
+			return nil, err
+		}
+		text = string(b)
+	}
+	return faults.ParsePlan(text)
 }
 
 // resize picks n approximately evenly spaced entries from loads.

@@ -27,15 +27,34 @@ type Ctx struct {
 
 // Env supplies the ambient kernel facilities helpers need. A nil Env uses
 // deterministic defaults (zero time, a fixed-seed xorshift PRNG).
+//
+// The Fault* hooks are armed by a chaos plan (internal/faults) and
+// consulted inside the shared helper dispatch, so an injected helper
+// error behaves identically under the interpreter and the compiled
+// path. Nil hooks (the default) cost one pointer check.
 type Env struct {
 	Prandom func() uint32 // get_prandom_u32
 	Ktime   func() uint64 // ktime_get_ns
 	CPUID   uint32        // get_smp_processor_id
+
+	// FaultLookupMiss forces bpf_map_lookup_elem to return NULL.
+	FaultLookupMiss func() bool
+	// FaultUpdateFail forces bpf_map_update_elem to fail with -1
+	// (the map-full error).
+	FaultUpdateFail func() bool
+	// FaultTailCall forces bpf_tail_call to hit the MaxTailCalls budget:
+	// a runtime fault, not a fall-through.
+	FaultTailCall func() bool
 }
 
 // defaultEnv backs nil-Env runs on the compiled path; it is never written
 // after init, so sharing it across concurrent runs is safe.
 var defaultEnv Env
+
+// errTailCallBudget aborts a program chain that exhausted MaxTailCalls.
+// Both execution paths wrap it identically ("ebpf: <prog>: insn <i>: ..."),
+// so the interpreter and the compiled dispatcher report the same fault.
+var errTailCallBudget = fmt.Errorf("tail call budget exhausted (max %d)", MaxTailCalls)
 
 // Runtime pointer encoding: 16-bit region tag | 48-bit offset. Verified
 // programs only dereference in-range pointers, so the tag bits are never
@@ -166,10 +185,16 @@ func interpExec(start *Program, rs *runState) (uint64, error) {
 		cur.runs.Add(1)
 		charged = 0
 	}
+	// fail flushes and charges the fault to the program whose instruction
+	// errored — after tail calls that is the current program, not start.
+	fail := func() {
+		flush()
+		cur.faults.Add(1)
+	}
 
 	for {
 		if pc >= len(prog.insns) {
-			flush()
+			fail()
 			return 0, fmt.Errorf("ebpf: %s: pc %d out of range", prog.name, pc)
 		}
 		ins := prog.insns[pc]
@@ -178,13 +203,13 @@ func interpExec(start *Program, rs *runState) (uint64, error) {
 		switch ins.Class() {
 		case ClassALU64:
 			if err := execALU(&rs.regs, ins, true); err != nil {
-				flush()
+				fail()
 				return 0, err
 			}
 			pc++
 		case ClassALU:
 			if err := execALU(&rs.regs, ins, false); err != nil {
-				flush()
+				fail()
 				return 0, err
 			}
 			pc++
@@ -198,14 +223,14 @@ func interpExec(start *Program, rs *runState) (uint64, error) {
 		case ClassLDX:
 			v, err := rs.load(ins)
 			if err != nil {
-				flush()
+				fail()
 				return 0, fmt.Errorf("ebpf: %s: insn %d: %w", prog.name, pc, err)
 			}
 			rs.regs[ins.Dst] = v
 			pc++
 		case ClassST, ClassSTX:
 			if err := rs.store(ins); err != nil {
-				flush()
+				fail()
 				return 0, fmt.Errorf("ebpf: %s: insn %d: %w", prog.name, pc, err)
 			}
 			pc++
@@ -218,7 +243,7 @@ func interpExec(start *Program, rs *runState) (uint64, error) {
 			case JmpCall:
 				next, err := rs.call(prog, ins)
 				if err != nil {
-					flush()
+					fail()
 					return 0, fmt.Errorf("ebpf: %s: insn %d: %w", prog.name, pc, err)
 				}
 				if next != nil {
@@ -247,7 +272,7 @@ func interpExec(start *Program, rs *runState) (uint64, error) {
 				}
 			}
 		default:
-			flush()
+			fail()
 			return 0, fmt.Errorf("ebpf: %s: insn %d: bad class %#x", prog.name, pc, ins.Op)
 		}
 	}
@@ -475,6 +500,11 @@ func (rs *runState) call(p *Program, ins Instruction) (*Program, error) {
 		if err != nil {
 			return nil, err
 		}
+		if rs.env.FaultLookupMiss != nil && rs.env.FaultLookupMiss() {
+			// Injected miss: R0 = NULL, exactly a real lookup failure.
+			clobber(0)
+			return nil, nil
+		}
 		ref := m.lookupRef(key, rs.env.CPUID)
 		if ref == nil {
 			clobber(0)
@@ -498,6 +528,11 @@ func (rs *runState) call(p *Program, ins Instruction) (*Program, error) {
 		val, _, err := rs.mem(regs[R3], int(m.spec.ValueSize))
 		if err != nil {
 			return nil, err
+		}
+		if rs.env.FaultUpdateFail != nil && rs.env.FaultUpdateFail() {
+			// Injected map-full: R0 = -1, exactly a real update failure.
+			clobber(uint64(0xffffffffffffffff))
+			return nil, nil
 		}
 		if err := m.Update(key, val); err != nil {
 			clobber(uint64(0xffffffffffffffff)) // -1
@@ -551,9 +586,13 @@ func (rs *runState) call(p *Program, ins Instruction) (*Program, error) {
 			clobber(uint64(0xffffffffffffffff))
 			return nil, nil
 		}
-		if rs.stats.TailCalls >= MaxTailCalls {
-			clobber(uint64(0xffffffffffffffff))
-			return nil, nil
+		if rs.stats.TailCalls >= MaxTailCalls ||
+			(rs.env.FaultTailCall != nil && rs.env.FaultTailCall()) {
+			// Budget exhausted (or injected exhaustion): a runtime fault,
+			// not a fall-through — a chain this deep is a runaway, and the
+			// hook must count exactly one fault and fall open. The kernel
+			// likewise aborts the program rather than resuming the caller.
+			return nil, errTailCallBudget
 		}
 		rs.stats.TailCalls++
 		// r1 keeps pointing at the ctx for the next program.

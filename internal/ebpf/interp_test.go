@@ -2,6 +2,7 @@ package ebpf
 
 import (
 	"encoding/binary"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -330,8 +331,9 @@ func TestInterpTailCallLimit(t *testing.T) {
 	pa := MustNewMap(MapSpec{Name: "pa", Type: MapProgArray, KeySize: 4, ValueSize: 4, MaxEntries: 1})
 	tb := NewMapTable()
 	fd := tb.Register(pa)
-	// Self tail-calling program; must stop after MaxTailCalls and fall
-	// through to PASS.
+	// Self tail-calling program; exhausting the budget is a runtime
+	// fault (a runaway chain), not a silent fall-through — the hook
+	// layer counts it and fails open.
 	insns := []Instruction{}
 	insns = append(insns, LoadMapFD(R2, fd)...)
 	insns = append(insns,
@@ -344,15 +346,15 @@ func TestInterpTailCallLimit(t *testing.T) {
 	if err := pa.UpdateProg(0, p); err != nil {
 		t.Fatal(err)
 	}
-	ret, stats, err := p.Run(&Ctx{}, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if ret != VerdictPass {
-		t.Fatalf("self tail call chain returned %#x", ret)
+	_, stats, err := p.Run(&Ctx{}, nil)
+	if err == nil || !strings.Contains(err.Error(), "tail call budget exhausted") {
+		t.Fatalf("self tail call chain err = %v, want budget fault", err)
 	}
 	if stats.TailCalls != MaxTailCalls {
 		t.Fatalf("tail calls = %d, want %d", stats.TailCalls, MaxTailCalls)
+	}
+	if f := p.Stats().Faults; f != 1 {
+		t.Fatalf("program faults = %d, want 1", f)
 	}
 }
 

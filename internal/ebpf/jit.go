@@ -130,6 +130,9 @@ func (p *Program) runCompiled(ctx *Ctx, env *Env) (uint64, ExecStats, error) {
 			code = target.code
 			pc = 0
 		case opErr:
+			// Charge the fault to the segment's program — after tail calls
+			// that is the callee, matching the interpreter's attribution.
+			prog.faults.Add(1)
 			err := rs.err
 			rs.err = nil
 			st := rs.stats
@@ -141,6 +144,7 @@ func (p *Program) runCompiled(ctx *Ctx, env *Env) (uint64, ExecStats, error) {
 				// panics indexing the insns slice — reproduce that exactly.
 				_ = prog.insns[pc]
 			}
+			prog.faults.Add(1)
 			err := fmt.Errorf("ebpf: %s: pc %d out of range", prog.name, pc)
 			st := rs.stats
 			putRunState(rs)

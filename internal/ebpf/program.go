@@ -38,6 +38,11 @@ type Program struct {
 	// Accounting for Table 2.
 	runs    atomic.Uint64
 	instret atomic.Uint64
+	// faults counts runs of this program that ended in a runtime error,
+	// charged to the program whose instruction faulted (after tail calls,
+	// that is the callee, not the entry program) — the per-tenant signal
+	// syrupd's quarantine watchdog reads for dispatcher slots.
+	faults atomic.Uint64
 
 	// Dispatch accounting: how invocations reached this program.
 	compiledRuns atomic.Uint64
@@ -133,11 +138,14 @@ func (p *Program) Maps() []*Map { return p.maps }
 type Stats struct {
 	Runs          uint64
 	InsnsExecuted uint64
+	// Faults counts runs that ended in a runtime error at one of this
+	// program's instructions.
+	Faults uint64
 }
 
 // Stats returns cumulative accounting.
 func (p *Program) Stats() Stats {
-	return Stats{Runs: p.runs.Load(), InsnsExecuted: p.instret.Load()}
+	return Stats{Runs: p.runs.Load(), InsnsExecuted: p.instret.Load(), Faults: p.faults.Load()}
 }
 
 // Compiled reports whether the program has a threaded-code form.

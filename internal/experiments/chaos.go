@@ -1,0 +1,165 @@
+package experiments
+
+// Chaos runs: the same fig-style RocksDB workload executed twice on the
+// same seed — once clean, once under a fault-injection plan with the
+// quarantine watchdog armed — and a degradation report comparing the two.
+// This is the correctness half of the fault work: the chaotic run must
+// degrade (drops, fall-open verdicts, maybe a quarantine), never wedge.
+
+import (
+	"fmt"
+	"strings"
+
+	"syrup"
+	"syrup/internal/faults"
+	"syrup/internal/policy"
+	"syrup/internal/syrupd"
+	"syrup/internal/workload"
+)
+
+// ChaosConfig parameterizes one clean-vs-chaos comparison (the `-faults`
+// mode of syrup-bench).
+type ChaosConfig struct {
+	Seed    uint64
+	Load    float64 // offered RPS
+	ScanPct float64
+	Policy  SocketPolicy
+	// Plan is the fault plan for the chaotic run (required).
+	Plan *faults.Plan
+	// Quarantine tunes the watchdog armed for the chaotic run; zero
+	// fields take syrupd defaults.
+	Quarantine syrupd.QuarantineConfig
+	Windows    Windows
+}
+
+// DefaultChaosPlan is a representative mixed plan: sporadic NIC ring and
+// SKB allocation losses, a burst of socket-select hook faults early in
+// the measure window (enough to trip the default watchdog), and
+// occasional ghOSt-style commit drops.
+func DefaultChaosPlan() *faults.Plan {
+	p, err := faults.ParsePlan(
+		"site=nic-ring prob=0.001\n" +
+			"site=skb-alloc prob=0.001\n" +
+			"site=socket-select every=2 from=250ms until=320ms\n" +
+			"site=ghost-commit prob=0.01\n")
+	if err != nil {
+		panic(err) // static plan
+	}
+	return p
+}
+
+// ChaosRun pairs the clean and chaotic executions of one point.
+type ChaosRun struct {
+	Plan         *faults.Plan
+	Clean, Chaos *workload.Result
+	// CleanHost/ChaosHost expose per-layer stats for the report (kept
+	// per-host, not process-global: experiment sweeps share the metrics
+	// registry across hosts).
+	CleanHost, ChaosHost *syrup.Host
+}
+
+// RunChaos executes the point clean, then again under the plan with the
+// watchdog armed. Both runs use the same seed, so every divergence is
+// attributable to the injected faults.
+func RunChaos(cfg ChaosConfig) *ChaosRun {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Load == 0 {
+		cfg.Load = DefaultTrace().Load
+	}
+	if cfg.Policy == "" {
+		cfg.Policy = PolicyRoundRobin
+	}
+	if cfg.Windows == (Windows{}) {
+		cfg.Windows = DefaultWindows
+	}
+	if cfg.Plan == nil {
+		cfg.Plan = DefaultChaosPlan()
+	}
+	classes := []workload.Class{{Name: "GET", Weight: 100 - cfg.ScanPct, Type: policy.ReqGET}}
+	if cfg.ScanPct > 0 {
+		classes = append(classes, workload.Class{Name: "SCAN", Weight: cfg.ScanPct, Type: policy.ReqSCAN})
+	}
+	base := rocksPoint{
+		Seed:       cfg.Seed,
+		Load:       cfg.Load,
+		NumCPUs:    6,
+		NumThreads: 6,
+		PinToCores: true,
+		Flows:      50,
+		Classes:    classes,
+		Policy:     cfg.Policy,
+		Windows:    cfg.Windows,
+	}
+	cleanRes, _, cleanHost := runRocksPointFull(base)
+
+	chaotic := base
+	chaotic.Faults = cfg.Plan
+	q := cfg.Quarantine
+	chaotic.Quarantine = &q
+	chaosRes, _, chaosHost := runRocksPointFull(chaotic)
+
+	return &ChaosRun{
+		Plan: cfg.Plan, Clean: cleanRes, Chaos: chaosRes,
+		CleanHost: cleanHost, ChaosHost: chaosHost,
+	}
+}
+
+// Quarantines reports how many quarantine events the chaotic run's
+// watchdog fired.
+func (cr *ChaosRun) Quarantines() uint64 {
+	if w := cr.ChaosHost.Daemon.Watchdog(); w != nil {
+		return w.Quarantines
+	}
+	return 0
+}
+
+// Format renders the degradation table: client-observed goodput and
+// latency side by side, the per-layer drop and fault counters that
+// absorbed the injected chaos, and the plan's per-site injection counts.
+func (cr *ChaosRun) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== chaos: goodput degradation vs clean run ==\n\n")
+	fmt.Fprintf(&b, "plan:\n")
+	for _, line := range strings.Split(strings.TrimSpace(cr.Plan.String()), "\n") {
+		fmt.Fprintf(&b, "  %s\n", line)
+	}
+
+	cl, ch := cr.Clean.All, cr.Chaos.All
+	clLat, chLat := cl.Latency.Summarize(), ch.Latency.Summarize()
+	fmt.Fprintf(&b, "\n%-18s%14s%14s%14s\n", "metric", "clean", "chaos", "delta")
+	num := func(name string, a, c float64, unit string) {
+		delta := "-"
+		if a != 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(c-a)/a)
+		}
+		fmt.Fprintf(&b, "%-18s%14.1f%14.1f%14s  %s\n", name, a, c, delta, unit)
+	}
+	num("goodput", cl.ThroughputRPS(), ch.ThroughputRPS(), "rps")
+	num("completed", float64(cl.Completed), float64(ch.Completed), "reqs")
+	num("p50 latency", float64(clLat.P50)/1e3, float64(chLat.P50)/1e3, "us")
+	num("p99 latency", float64(clLat.P99)/1e3, float64(chLat.P99)/1e3, "us")
+	num("dropped", float64(cl.TotalDrops()), float64(ch.TotalDrops()), "reqs")
+
+	clS, chS := cr.CleanHost.Stack.Stats, cr.ChaosHost.Stack.Stats
+	clN, chN := cr.CleanHost.NIC.Stats, cr.ChaosHost.NIC.Stats
+	fmt.Fprintf(&b, "\n%-18s%14s%14s\n", "layer counter", "clean", "chaos")
+	cnt := func(name string, a, c uint64) {
+		fmt.Fprintf(&b, "%-18s%14d%14d\n", name, a, c)
+	}
+	cnt("nic ring drops", clN.DroppedRing, chN.DroppedRing)
+	cnt("offload faults", clN.OffloadFaults, chN.OffloadFaults)
+	cnt("backlog drops", clS.BacklogDrops, chS.BacklogDrops)
+	cnt("no-exec drops", clS.NoExecutorDrops, chS.NoExecutorDrops)
+	cnt("socket drops", clS.SocketDrops, chS.SocketDrops)
+	cnt("quarantines", 0, cr.Quarantines())
+
+	if inj := cr.ChaosHost.Faults; inj != nil {
+		fmt.Fprintf(&b, "\ninjected faults (%d total):\n", inj.Total())
+		for _, site := range inj.Planned() {
+			fmt.Fprintf(&b, "  %-16s%8d\n", site, inj.Injected(site))
+		}
+	}
+	return b.String()
+}

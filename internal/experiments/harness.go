@@ -6,10 +6,12 @@ import (
 	"syrup"
 	"syrup/internal/apps/rocksdb"
 	"syrup/internal/ebpf"
+	"syrup/internal/faults"
 	"syrup/internal/ghost"
 	"syrup/internal/kernel"
 	"syrup/internal/policy"
 	"syrup/internal/sim"
+	"syrup/internal/syrupd"
 	"syrup/internal/trace"
 	"syrup/internal/workload"
 )
@@ -83,6 +85,11 @@ type rocksPoint struct {
 	// the host and server. Tracing never perturbs the simulation, so a
 	// traced point's Result is bit-identical to an untraced one.
 	Tracer *trace.Recorder
+	// Faults, when set, arms the host with the chaos plan (compiled
+	// against Seed); Quarantine additionally arms syrupd's fault
+	// watchdog. Both nil leaves the point bit-identical to the seed runs.
+	Faults     *faults.Plan
+	Quarantine *syrupd.QuarantineConfig
 }
 
 const (
@@ -94,14 +101,14 @@ const (
 // runRocksPoint builds a fresh host, deploys the requested policies via
 // syrupd, offers the load, and returns per-class results.
 func runRocksPoint(pt rocksPoint) *workload.Result {
-	res, _ := runRocksPointFull(pt)
+	res, _, _ := runRocksPointFull(pt)
 	return res
 }
 
 // runRocksPointWithLocality also reports the percentage of requests that
 // hit the warm-flow locality discount (the RFS ablation's metric).
 func runRocksPointWithLocality(pt rocksPoint) (*workload.Result, float64) {
-	res, srv := runRocksPointFull(pt)
+	res, srv, _ := runRocksPointFull(pt)
 	total := srv.ProcessedGET + srv.ProcessedSCAN
 	if total == 0 {
 		return res, 0
@@ -109,15 +116,17 @@ func runRocksPointWithLocality(pt rocksPoint) (*workload.Result, float64) {
 	return res, 100 * float64(srv.LocalityHits) / float64(total)
 }
 
-func runRocksPointFull(pt rocksPoint) (*workload.Result, *rocksdb.Server) {
+func runRocksPointFull(pt rocksPoint) (*workload.Result, *rocksdb.Server, *syrup.Host) {
 	if pt.Windows == (Windows{}) {
 		pt.Windows = DefaultWindows
 	}
 	host := syrup.NewHost(syrup.HostConfig{
-		Seed:      pt.Seed,
-		NumCPUs:   pt.NumCPUs,
-		NICQueues: pt.NumCPUs, // one RX queue per core, IRQs on buddies (§5.1.1)
-		Trace:     pt.Tracer,
+		Seed:       pt.Seed,
+		NumCPUs:    pt.NumCPUs,
+		NICQueues:  pt.NumCPUs, // one RX queue per core, IRQs on buddies (§5.1.1)
+		Trace:      pt.Tracer,
+		Faults:     pt.Faults,
+		Quarantine: pt.Quarantine,
 	})
 	app, err := host.RegisterApp(rocksApp, rocksUID, rocksPort)
 	if err != nil {
@@ -220,7 +229,7 @@ func runRocksPointFull(pt rocksPoint) (*workload.Result, *rocksdb.Server) {
 	}
 
 	srv.Start()
-	return gen.RunToCompletion(), srv
+	return gen.RunToCompletion(), srv, host
 }
 
 func mustDeploy(app *syrup.App, name string, defines map[string]int64) {

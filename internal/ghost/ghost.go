@@ -15,6 +15,7 @@ package ghost
 import (
 	"fmt"
 
+	"syrup/internal/faults"
 	"syrup/internal/hook"
 	"syrup/internal/kernel"
 	"syrup/internal/sim"
@@ -134,6 +135,15 @@ type Agent struct {
 	threads  map[*kernel.Thread]bool
 	runnable map[*kernel.Thread]bool
 
+	// stopped quiesces the agent (revocation): messages keep queueing but
+	// no batch is drained and no policy runs until Resume. The enclave's
+	// reservations stay in place so a redeploy reuses the same agent.
+	stopped bool
+
+	// faults, when armed by a chaos plan, stalls message batches on the
+	// agent core and drops commit transactions in flight.
+	faults *faults.Injector
+
 	// Stored closure-free callbacks for the agent's event hot paths. The
 	// single-outstanding-batch invariant (busy) makes one inflight buffer
 	// sufficient; commits carry an absolute index into commitQ because
@@ -160,6 +170,11 @@ type Agent struct {
 	Messages uint64
 	Commits  uint64
 	Preempts uint64
+	// Stalls counts injected agent stalls; CommitDrops counts commit
+	// transactions dropped by an injected fault (the placement's thread
+	// returns to the runnable set, as after any failed ghOSt txn).
+	Stalls      uint64
+	CommitDrops uint64
 }
 
 // NewAgent reserves agentCPU for the spinning agent and workers as the
@@ -228,10 +243,47 @@ func NewAgent(m *kernel.Machine, app uint32, policy Policy, agentCPU kernel.CPUI
 			a.commitQ = a.commitQ[:0]
 			a.commitAt = a.commitAt[:0]
 		}
+		// An injected commit fault drops the transaction after its cost was
+		// paid: the IPI round trip happened but the placement never landed.
+		// The thread returns to the runnable set and the policy is kicked,
+		// exactly the failed-txn recovery path.
+		if a.faults.Fire(faults.SiteGhostCommit) {
+			a.CommitDrops++
+			if pl.Thread.State() == kernel.ThreadRunnable {
+				a.runnable[pl.Thread] = true
+				a.kickPolicy()
+			}
+			return
+		}
 		a.commit(pl)
 	}
 	return a
 }
+
+// SetFaults arms the agent with a chaos plan's injector (nil disarms):
+// message-batch stalls on the agent core and dropped commit transactions.
+func (a *Agent) SetFaults(inj *faults.Injector) { a.faults = inj }
+
+// Stop quiesces the agent: messages keep accumulating but no batch is
+// processed and no placements are committed until Resume. Core
+// reservations are kept — ghOSt enclaves outlive policy revocations, and
+// kernel CPUs cannot be re-reserved.
+func (a *Agent) Stop() { a.stopped = true }
+
+// Resume restarts a stopped agent and drains whatever queued meanwhile.
+func (a *Agent) Resume() {
+	if !a.stopped {
+		return
+	}
+	a.stopped = false
+	a.maybeRun()
+	if len(a.runnable) > 0 {
+		a.kickPolicy()
+	}
+}
+
+// Stopped reports whether the agent is quiesced.
+func (a *Agent) Stopped() bool { return a.stopped }
 
 // SetTracer routes the agent's message→commit round trips to r as
 // StageGhost spans: one per processed batch (Policy "batch", Executor =
@@ -281,7 +333,7 @@ func (a *Agent) enqueue(msg Message) {
 // commits consume agent-core time sequentially, which is what bounds the
 // scheduling throughput of a single agent.
 func (a *Agent) maybeRun() {
-	if a.busy || len(a.queue) == 0 {
+	if a.busy || a.stopped || len(a.queue) == 0 {
 		return
 	}
 	a.busy = true
@@ -290,6 +342,12 @@ func (a *Agent) maybeRun() {
 	// backing array for reuse, and new messages accumulate in the other.
 	a.inflight, a.queue = a.queue, a.inflight[:0]
 	cost := a.cfg.PerMessageCost * sim.Time(len(a.inflight))
+	// An injected stall holds the agent core for the spec's duration on
+	// top of the batch cost (a GC pause or scheduler-thread descheduling).
+	if a.faults.Fire(faults.SiteGhostStall) {
+		a.Stalls++
+		cost += a.faults.Stall(faults.SiteGhostStall)
+	}
 	a.eng.CallAfter(cost, a.batchCB, nil, 0)
 }
 
@@ -371,7 +429,7 @@ func (a *Agent) commit(pl Placement) {
 
 // kickPolicy schedules a re-invocation via a synthetic empty batch.
 func (a *Agent) kickPolicy() {
-	if a.busy {
+	if a.busy || a.stopped {
 		return
 	}
 	a.busy = true

@@ -25,6 +25,7 @@
 package hook
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -101,6 +102,9 @@ type Stats struct {
 // escapes happening anywhere" gauge.
 var faultsTotal = metrics.NewCounter("ebpf_hook_faults")
 
+// errInjected marks a fault-injected run on the shared error path.
+var errInjected = errors.New("hook: injected fault")
+
 // Point is one hook slot at one layer.
 type Point struct {
 	kind Kind
@@ -128,6 +132,12 @@ type Point struct {
 	// supplies the simulated clock for the span timestamp.
 	tracer *trace.Recorder
 	now    func() sim.Time
+
+	// inject, when armed by a chaos plan, is consulted before executing
+	// the installed program; a firing makes the run a counted fault that
+	// falls open without the program ever running (an offload engine or
+	// select path failing under the policy, not the policy misbehaving).
+	inject func() bool
 }
 
 // NewPoint creates a hook point. name identifies the instance (for metric
@@ -163,6 +173,16 @@ func sanitize(name string) string {
 // submit, and the thread hook without per-layer duplication.
 func (p *Point) SetTracer(r *trace.Recorder, now func() sim.Time) {
 	p.tracer, p.now = r, now
+}
+
+// SetFaultInjector arms (or, with nil, disarms) fault injection at this
+// point. fire is consulted once per Run with a program installed; when
+// it returns true the run is accounted as a fault — point, link, and
+// metrics counters all bump, a fault span is recorded — and the verdict
+// falls open to Pass without executing the program, exactly the
+// treatment a runtime program error gets.
+func (p *Point) SetFaultInjector(fire func() bool) {
+	p.inject = fire
 }
 
 // Kind reports the point's hook kind.
@@ -267,12 +287,22 @@ func (p *Point) Run(in Input) Verdict {
 		}
 		return Verdict{Action: Pass}
 	}
-	env := in.Env
-	if env == nil {
-		env = p.env
+	var (
+		raw uint32
+		err error
+	)
+	if p.inject != nil && p.inject() {
+		// Injected hook fault: the program never runs; the accounting
+		// below treats it exactly like a runtime error (fall open).
+		err = errInjected
+	} else {
+		env := in.Env
+		if env == nil {
+			env = p.env
+		}
+		p.ctx = ebpf.Ctx{Packet: in.Packet, Hash: in.Hash, Port: in.Port, Queue: in.Queue}
+		raw, _, err = p.prog.Run(&p.ctx, env)
 	}
-	p.ctx = ebpf.Ctx{Packet: in.Packet, Hash: in.Hash, Port: in.Port, Queue: in.Queue}
-	raw, _, err := p.prog.Run(&p.ctx, env)
 
 	p.stats.Runs++
 	p.runsCtr.Inc()

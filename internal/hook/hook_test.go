@@ -352,3 +352,112 @@ func TestZeroAllocRun(t *testing.T) {
 		t.Fatalf("traced Run: %v allocs/op, want 0", avg)
 	}
 }
+
+func TestFaultInjectorFailsOpen(t *testing.T) {
+	pt := NewPoint(SocketSelect, "t_inject", nil)
+	prog := mustProg(t, "steer7", "r0 = 7\nexit\n")
+	l, err := pt.Attach(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fire on every other run.
+	n := 0
+	pt.SetFaultInjector(func() bool {
+		n++
+		return n%2 == 0
+	})
+
+	rec := trace.New(8)
+	rec.SetEnabled(true)
+	pt.SetTracer(rec, func() sim.Time { return 42 })
+
+	before := prog.Stats().Runs
+	v1 := pt.Run(Input{Packet: []byte{1}})
+	if v1.Action != Steer || v1.Index != 7 || v1.Faulted {
+		t.Fatalf("clean run verdict = %+v", v1)
+	}
+	v2 := pt.Run(Input{Packet: []byte{1}})
+	if v2.Action != Pass || !v2.Faulted {
+		t.Fatalf("injected run verdict = %+v, want faulted fall-open", v2)
+	}
+	// The program must not have executed on the injected run.
+	if got := prog.Stats().Runs - before; got != 1 {
+		t.Fatalf("program ran %d times, want 1 (injection skips execution)", got)
+	}
+	st := pt.Stats()
+	if st.Runs != 2 || st.Faults != 1 || st.Steers != 1 {
+		t.Fatalf("point stats = %+v", st)
+	}
+	if ls := l.Stats(); ls.Runs != 2 || ls.Faults != 1 {
+		t.Fatalf("link stats = %+v", ls)
+	}
+	spans := rec.Spans()
+	if len(spans) != 2 || spans[1].Verdict != trace.VerdictFault || !spans[1].Err {
+		t.Fatalf("spans = %+v", spans)
+	}
+
+	// Disarm: back to clean verdicts.
+	pt.SetFaultInjector(nil)
+	if v := pt.Run(Input{Packet: []byte{1}}); v.Faulted {
+		t.Fatalf("disarmed point still faulted: %+v", v)
+	}
+}
+
+// selfTailProg builds a verified program that tail-calls itself until the
+// budget faults; jit selects compiled vs interpreter dispatch.
+func selfTailProg(t *testing.T, name string, jit bool) *ebpf.Program {
+	t.Helper()
+	pa := ebpf.MustNewMap(ebpf.MapSpec{Name: name + "_pa", Type: ebpf.MapProgArray, KeySize: 4, ValueSize: 4, MaxEntries: 1})
+	tb := ebpf.NewMapTable()
+	fd := tb.Register(pa)
+	insns := []ebpf.Instruction{}
+	insns = append(insns, ebpf.LoadMapFD(ebpf.R2, fd)...)
+	insns = append(insns,
+		ebpf.MovImm(ebpf.R3, 0),
+		ebpf.Call(ebpf.HelperTailCall),
+		ebpf.MovImm(ebpf.R0, -1),
+		ebpf.Exit(),
+	)
+	p, err := ebpf.Load(name, insns, ebpf.LoadOptions{MapTable: tb, NoJIT: !jit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pa.UpdateProg(0, p); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestTailCallBudgetOneHookFault is the fall-open audit for the tail-call
+// path: a chain exhausting MaxTailCalls must count exactly one hook fault
+// and fall open, identically under the compiled dispatcher and the
+// interpreter.
+func TestTailCallBudgetOneHookFault(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		jit  bool
+	}{{"jit", true}, {"interp", false}} {
+		t.Run(tc.name, func(t *testing.T) {
+			prog := selfTailProg(t, "runaway_"+tc.name, tc.jit)
+			if prog.Compiled() != tc.jit {
+				t.Fatalf("compiled = %v, want %v", prog.Compiled(), tc.jit)
+			}
+			pt := NewPoint(XDPDrv, "t_tailfault_"+tc.name, nil)
+			if _, err := pt.Attach(prog); err != nil {
+				t.Fatal(err)
+			}
+			v := pt.Run(Input{Packet: []byte{1}})
+			if v.Action != Pass || !v.Faulted {
+				t.Fatalf("verdict = %+v, want faulted fall-open", v)
+			}
+			st := pt.Stats()
+			if st.Runs != 1 || st.Faults != 1 {
+				t.Fatalf("point stats = %+v, want exactly one run, one fault", st)
+			}
+			if f := prog.Stats().Faults; f != 1 {
+				t.Fatalf("program faults = %d, want 1", f)
+			}
+		})
+	}
+}

@@ -31,6 +31,10 @@ type Socket struct {
 	// binding; TryRecv then draws from the group's shared queue.
 	group *ReuseportGroup
 
+	// closed marks a dead socket (the owner tore it down); enqueues fail
+	// and deliverers must treat it as a missing executor.
+	closed bool
+
 	// Drops counts enqueue failures due to a full queue.
 	Drops uint64
 	// Enqueued counts successful enqueues.
@@ -45,10 +49,19 @@ func NewSocket(port uint16, app uint32, capacity int, label string) *Socket {
 	return &Socket{Port: port, App: app, cap: capacity, Label: label}
 }
 
+// Close marks the socket dead: enqueues fail from now on and the stack
+// treats a policy verdict naming it as a missing executor. Queued
+// packets stay readable (a real socket's receive queue drains on close
+// only when the fd goes away, which this model does not track).
+func (s *Socket) Close() { s.closed = true }
+
+// Closed reports whether Close was called.
+func (s *Socket) Closed() bool { return s.closed }
+
 // Enqueue appends a packet, waking any parked waiter. It reports false
-// (and counts a drop) when the queue is full.
+// (and counts a drop) when the queue is full or the socket is closed.
 func (s *Socket) Enqueue(pkt *nic.Packet) bool {
-	if len(s.queue) >= s.cap {
+	if s.closed || len(s.queue) >= s.cap {
 		s.Drops++
 		return false
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"syrup/internal/ebpf"
+	"syrup/internal/faults"
 	"syrup/internal/hook"
 	"syrup/internal/nic"
 	"syrup/internal/sim"
@@ -120,6 +121,11 @@ type Stack struct {
 	// per packet; it also fans out to every hook point the stack owns.
 	tracer *trace.Recorder
 
+	// faults, when armed by a chaos plan, injects SKB allocation
+	// failures; the per-core envs and socket-select points carry their
+	// own triggers.
+	faults *faults.Injector
+
 	Stats Stats
 }
 
@@ -201,6 +207,25 @@ func (s *Stack) traceSpan(pkt *nic.Packet, stage trace.Stage, start sim.Time, cp
 	})
 }
 
+// SetFaults arms the receive path with a chaos plan's injector (nil
+// disarms): SKB allocation failures at backlog admission, helper errors
+// through every per-core Env, and socket-select faults at every group's
+// hook point — including groups created after this call.
+func (s *Stack) SetFaults(inj *faults.Injector) {
+	s.faults = inj
+	for _, env := range s.envs {
+		env.FaultLookupMiss = inj.FireFn(faults.SiteHelperLookup)
+		env.FaultUpdateFail = inj.FireFn(faults.SiteHelperUpdate)
+		env.FaultTailCall = inj.FireFn(faults.SiteTailCall)
+	}
+	for _, g := range s.groups {
+		g.point.SetFaultInjector(inj.FireFn(faults.SiteSocketSelect))
+	}
+	for _, g := range s.tcpGroups {
+		g.point.SetFaultInjector(inj.FireFn(faults.SiteSocketSelect))
+	}
+}
+
 // XDP exposes the XDP hook point; syrupd attaches through it (pairing the
 // attachment with SetXDPMode).
 func (s *Stack) XDP() *hook.Point { return s.xdp }
@@ -245,6 +270,9 @@ func (s *Stack) Group(port uint16, app uint32) *ReuseportGroup {
 	if s.tracer != nil {
 		g.point.SetTracer(s.tracer, s.eng.Now)
 	}
+	if s.faults != nil {
+		g.point.SetFaultInjector(s.faults.FireFn(faults.SiteSocketSelect))
+	}
 	s.groups[port] = g
 	return g
 }
@@ -260,6 +288,9 @@ func (s *Stack) TCPGroup(port uint16, app uint32) *TCPGroup {
 	g := NewTCPGroup(port, app)
 	if s.tracer != nil {
 		g.point.SetTracer(s.tracer, s.eng.Now)
+	}
+	if s.faults != nil {
+		g.point.SetFaultInjector(s.faults.FireFn(faults.SiteSocketSelect))
 	}
 	s.tcpGroups[port] = g
 	return g
@@ -297,7 +328,9 @@ func (s *Stack) SocketQueueCap() int { return s.cfg.SocketQueueCap }
 func (s *Stack) Deliver(queue int, pkt *nic.Packet) {
 	pkt.SoftirqAt = s.eng.Now()
 	core := &s.cores[queue]
-	if core.backlog >= s.cfg.BacklogCap {
+	// An injected SKB allocation failure drops exactly where a full
+	// backlog would: at admission, before any softirq cost is charged.
+	if core.backlog >= s.cfg.BacklogCap || s.faults.Fire(faults.SiteSKBAlloc) {
 		s.Stats.BacklogDrops++
 		s.traceSpan(pkt, trace.StageSoftirq, pkt.SoftirqAt, queue, trace.VerdictDrop, 0)
 		if s.dev != nil {
@@ -347,7 +380,11 @@ func (s *Stack) afterIngress(queue int, pkt *nic.Packet) {
 			if tables := s.xsks[pkt.DstPort]; tables != nil {
 				table = tables[queue]
 			}
-			if int(v.Index) >= len(table) {
+			if int(v.Index) >= len(table) || table[v.Index].Closed() {
+				// Out of range — or a verdict naming a dead AF_XDP socket.
+				// A stale executor index must never receive delivery: the
+				// socket's consumer is gone, so the packet drops here as a
+				// missing-executor, not into a dead queue.
 				s.Stats.NoExecutorDrops++
 				s.traceSpan(pkt, trace.StageSoftirq, pkt.SoftirqAt, queue, trace.VerdictDrop, 0)
 				return

@@ -13,6 +13,7 @@ import (
 	"hash/fnv"
 
 	"syrup/internal/ebpf"
+	"syrup/internal/faults"
 	"syrup/internal/hook"
 	"syrup/internal/sim"
 	"syrup/internal/trace"
@@ -160,6 +161,10 @@ type NIC struct {
 	// (arrival to ring handoff, including offload-engine latency).
 	tracer *trace.Recorder
 
+	// faults, when armed by a chaos plan, injects RX ring overflows; the
+	// offload hook point and NIC-side Env carry their own triggers.
+	faults *faults.Injector
+
 	Stats Stats
 }
 
@@ -195,6 +200,18 @@ func (n *NIC) Offload() *hook.Point { return n.offload }
 func (n *NIC) SetTracer(r *trace.Recorder) {
 	n.tracer = r
 	n.offload.SetTracer(r, n.eng.Now)
+}
+
+// SetFaults arms the device with a chaos plan's injector (nil disarms):
+// ring overflows on SiteNICRing, offload-engine faults on SiteOffload,
+// and helper errors inside offloaded programs through the NIC-side Env.
+func (n *NIC) SetFaults(inj *faults.Injector) {
+	n.faults = inj
+	n.offload.SetFaultInjector(inj.FireFn(faults.SiteOffload))
+	env := n.offload.Env()
+	env.FaultLookupMiss = inj.FireFn(faults.SiteHelperLookup)
+	env.FaultUpdateFail = inj.FireFn(faults.SiteHelperUpdate)
+	env.FaultTailCall = inj.FireFn(faults.SiteTailCall)
 }
 
 // SetOffloadProgram installs the XDP Offload hook program (nil clears),
@@ -242,7 +259,8 @@ func (n *NIC) Receive(pkt *Packet) {
 		}
 	}
 
-	if n.inflight[queue] >= n.cfg.RingSize {
+	// An injected ring overflow drops exactly where a full ring would.
+	if n.inflight[queue] >= n.cfg.RingSize || n.faults.Fire(faults.SiteNICRing) {
 		n.Stats.DroppedRing++
 		n.traceNIC(pkt, pkt.ArrivedAt, queue, trace.VerdictDrop)
 		return

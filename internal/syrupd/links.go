@@ -29,9 +29,11 @@ type AppLink struct {
 	disp *dispatcher
 	slot uint32
 	prog *ebpf.Program
-	// priorRuns accumulates run counts of earlier program generations in
-	// the slot, so Runs survives redeploys like hook.Link stats do.
-	priorRuns uint64
+	// priorRuns/priorFaults accumulate counts of earlier program
+	// generations in the slot, so Runs and Faults survive redeploys like
+	// hook.Link stats do.
+	priorRuns   uint64
+	priorFaults uint64
 }
 
 // Label names the running program (or userspace policy) generation.
@@ -58,14 +60,19 @@ func (l *AppLink) Runs() uint64 {
 	return l.priorRuns
 }
 
-// Faults reports runtime faults attributed to this deployment. Faults in
-// tail-called dispatcher programs surface on the root's hook point and
-// cannot be attributed per-tenant, so dispatcher links report 0.
+// Faults reports runtime faults attributed to this deployment. Direct
+// links read the hook point's per-link fault count; dispatcher slots read
+// the tail-called program's own fault counter (the VM charges a runtime
+// error to the program whose instruction faulted), so the number is
+// per-tenant even though the hook point belongs to the root.
 func (l *AppLink) Faults() uint64 {
 	if l.link != nil {
 		return l.link.Stats().Faults
 	}
-	return 0
+	if l.prog != nil {
+		return l.priorFaults + l.prog.Stats().Faults
+	}
+	return l.priorFaults
 }
 
 // detach tears the deployment down: direct links detach from their hook
@@ -101,7 +108,9 @@ func (app *App) recordSlot(hk Hook, target string, disp *dispatcher, slot uint32
 	for _, al := range app.links {
 		if al.disp == disp {
 			if al.prog != nil && al.prog != prog {
-				al.priorRuns += al.prog.Stats().Runs
+				st := al.prog.Stats()
+				al.priorRuns += st.Runs
+				al.priorFaults += st.Faults
 			}
 			al.prog, al.slot = prog, slot
 			return
@@ -124,6 +133,9 @@ type LinkInfo struct {
 	Program string `json:"program"`
 	Runs    uint64 `json:"runs"`
 	Faults  uint64 `json:"faults"`
+	// Quarantined marks a deployment detached by the fault watchdog; the
+	// layer serves kernel defaults until an operator unquarantines.
+	Quarantined bool `json:"quarantined,omitempty"`
 }
 
 // Links enumerates every live deployment across all apps, ordered by app
@@ -136,10 +148,12 @@ func (d *Daemon) Links() []LinkInfo {
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	var out []LinkInfo
 	for _, id := range ids {
-		for _, al := range d.apps[id].links {
+		app := d.apps[id]
+		for _, al := range app.links {
 			out = append(out, LinkInfo{
 				App: al.App, Hook: string(al.Hook), Target: al.Target,
 				Program: al.Label(), Runs: al.Runs(), Faults: al.Faults(),
+				Quarantined: app.quarantined[al.Hook],
 			})
 		}
 	}
@@ -149,8 +163,12 @@ func (d *Daemon) Links() []LinkInfo {
 // RevokeApp tears down every one of the app's deployments across all
 // layers: direct links detach (the layer falls back to its default —
 // hash reuseport, LBA striping, an idle enclave) and dispatcher slots
-// clear (the root dispatcher PASSes the app's packets to RSS). The app
-// stays registered; it can redeploy later.
+// clear (the root dispatcher PASSes the app's packets to RSS). The
+// app's pinned maps are unlinked from the sysfs namespace and its ghOSt
+// agent is quiesced — a revoked app must leave nothing reachable or
+// running, not just empty hook slots. The app stays registered; it can
+// redeploy later (the enclave is reused, maps are re-created and
+// re-pinned fresh).
 func (d *Daemon) RevokeApp(id uint32) error {
 	app, ok := d.apps[id]
 	if !ok {
@@ -160,5 +178,20 @@ func (d *Daemon) RevokeApp(id uint32) error {
 		al.detach()
 	}
 	app.links = nil
+	// Unpin everything under the app's pin directory. Unpin is owner-only,
+	// so the call is made as the app's UID; the paths came from our own
+	// Pin calls, so failures are daemon bugs.
+	for _, path := range d.pins.List(fmt.Sprintf("/syrup/%d/", id)) {
+		if err := d.pins.Unpin(path, app.UID); err != nil {
+			return fmt.Errorf("syrupd: revoke app %d: %w", id, err)
+		}
+	}
+	app.maps = make(map[string]*ebpf.Map)
+	// Quiesce the agent: its enclave reservations stay (kernel CPUs cannot
+	// be re-reserved), but no message is processed and no placement
+	// commits until a new thread policy deploys.
+	if app.agent != nil {
+		app.agent.Stop()
+	}
 	return nil
 }

@@ -19,7 +19,7 @@ import (
 
 // Request is one client command.
 type Request struct {
-	Op string `json:"op"` // register_app | deploy | revoke_app | links | map_lookup | map_update | list_policies | stats | trace
+	Op string `json:"op"` // register_app | deploy | revoke_app | unquarantine | links | map_lookup | map_update | list_policies | stats | trace
 
 	// register_app
 	App   uint32   `json:"app,omitempty"`
@@ -180,6 +180,15 @@ func (s *Server) Handle(req *Request) Response {
 		return Response{OK: true, Instructions: res.Program.Len(), SourceLines: res.SourceLines}
 	case "revoke_app":
 		if err := s.d.RevokeApp(req.App); err != nil {
+			return errResp(err)
+		}
+		return Response{OK: true}
+	case "unquarantine":
+		hook, err := ParseHook(req.Hook)
+		if err != nil {
+			return errResp(err)
+		}
+		if err := s.d.Unquarantine(req.App, hook); err != nil {
 			return errResp(err)
 		}
 		return Response{OK: true}

@@ -22,6 +22,7 @@ import (
 	"os"
 
 	"syrup/internal/ebpf"
+	"syrup/internal/faults"
 	"syrup/internal/ghost"
 	"syrup/internal/hook"
 	"syrup/internal/kernel"
@@ -88,6 +89,15 @@ type HostConfig struct {
 	// Tracing is off by default; the recorder never schedules events or
 	// consumes randomness, so traced runs are behavior-identical.
 	Trace *trace.Recorder
+	// Faults, when set, compiles the chaos plan against Seed and arms
+	// every layer's injection sites (NIC ring, offload, SKB allocation,
+	// eBPF helpers, socket select, ghOSt agents). The injector draws from
+	// its own per-site PRNG streams and schedules no events, so hosts
+	// built without a plan stay bit-identical.
+	Faults *faults.Plan
+	// Quarantine, when non-nil, arms syrupd's fault watchdog with the
+	// given thresholds (zero fields take defaults).
+	Quarantine *syrupd.QuarantineConfig
 }
 
 // TraceRecorder is the cross-stack span recorder (see internal/trace).
@@ -116,6 +126,9 @@ type Host struct {
 	// Tracer is the request tracer wired at construction (nil unless
 	// HostConfig.Trace was set).
 	Tracer *trace.Recorder
+	// Faults is the compiled chaos injector (nil unless HostConfig.Faults
+	// was set); Faults.Counts() reports per-site injections after a run.
+	Faults *faults.Injector
 }
 
 // NewHost builds a host: NIC wired to the kernel network stack, CPUs under
@@ -151,6 +164,15 @@ func NewHost(cfg HostConfig) *Host {
 		dev.SetTracer(cfg.Trace)
 		stack.SetTracer(cfg.Trace)
 		h.Daemon.SetTracer(cfg.Trace)
+	}
+	if cfg.Faults != nil {
+		h.Faults = cfg.Faults.Compile(cfg.Seed, eng.Now)
+		dev.SetFaults(h.Faults)
+		stack.SetFaults(h.Faults)
+		h.Daemon.SetFaults(h.Faults)
+	}
+	if cfg.Quarantine != nil {
+		h.Daemon.EnableQuarantine(*cfg.Quarantine)
 	}
 	return h
 }

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race lint-hooks trace-check alloc-gates chaos check bench bench-dispatch bench-engine fuzz clean
+.PHONY: build test vet race lint-hooks trace-check alloc-gates chaos check bench bench-dispatch bench-engine bench-datapath fuzz clean
 
 build:
 	$(GO) build ./...
@@ -35,11 +35,13 @@ trace-check:
 	$(GO) test -race ./internal/trace/ ./internal/metrics/
 
 # Zero-alloc gates (see DESIGN.md): the event-engine steady state, compiled
-# eBPF dispatch, hook dispatch (traced and untraced), and the span
-# recorder's Record path — including disabled/nil recorders, i.e. the
-# tracing-off hot path — must all stay at 0 allocs/op.
+# eBPF dispatch, hook dispatch (single and vectorized, traced and
+# untraced), the span recorder's Record path — including disabled/nil
+# recorders, i.e. the tracing-off hot path — and the batched datapath
+# (NIC burst drain with pooled packets, stack burst delivery end to end)
+# must all stay at 0 allocs/op.
 alloc-gates:
-	$(GO) test -run 'TestZeroAlloc|TestCompiledRunZeroAllocs' -v ./internal/sim/ ./internal/trace/ ./internal/hook/ ./internal/ebpf/ | grep -E '^(=== RUN|--- (PASS|FAIL)|FAIL|ok)'
+	$(GO) test -run 'TestZeroAlloc|TestCompiledRunZeroAllocs' -v ./internal/sim/ ./internal/trace/ ./internal/hook/ ./internal/ebpf/ ./internal/nic/ ./internal/netstack/ | grep -E '^(=== RUN|--- (PASS|FAIL)|FAIL|ok)'
 
 # Chaos gate (see DESIGN.md "Fault injection and quarantine"): the
 # fault-plan suite plus the syrupd quarantine/revoke tests — including the
@@ -68,6 +70,13 @@ bench-dispatch:
 # TestZeroAllocSteadyState / TestZeroAllocTicker in internal/sim.
 bench-engine:
 	$(GO) test ./internal/sim/ -run '^$$' -bench BenchmarkEngine -benchmem
+
+# Batched-datapath wall-clock (see DESIGN.md "Batched datapath"): one MICA
+# kernel-steering point at drain budgets 1/8/64. Results are bit-identical
+# across budgets (gated by TestBatchDifferential* in `make test`); this
+# target shows the wall-clock and allocation margin batching buys.
+bench-datapath:
+	$(GO) test ./internal/experiments/ -run '^$$' -bench BenchmarkDatapathBurst -benchmem -benchtime 2x
 
 # Extended differential fuzzing of the compiled dispatch path against the
 # interpreter oracle (the seed corpus already runs under plain `go test`).

@@ -47,6 +47,7 @@ func main() {
 	scanPct := flag.Float64("scan-pct", 0, "percent SCAN requests for -breakdown/-trace/-faults")
 	polName := flag.String("policy", "round_robin", "socket policy for -breakdown/-trace/-faults (vanilla|round_robin|scan_avoid|sita)")
 	seed := flag.Uint64("seed", 1, "simulation seed for -breakdown/-trace/-faults")
+	batch := flag.Int("batch", 0, "NAPI-style datapath drain budget (0/1 = per-packet; results are bit-identical across batch sizes, only wall-clock changes)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: syrup-bench [flags] fig2|fig6|fig7|fig8|fig9a|fig9b|table2|table3|ablation-late|ablation-rfs|all\n")
 		fmt.Fprintf(os.Stderr, "       syrup-bench [-fast] -breakdown|-trace file [-load RPS] [-scan-pct P] [-policy NAME] [-seed N]\n")
@@ -69,6 +70,7 @@ func main() {
 	if *fast {
 		windows = experiments.FastWindows
 	}
+	experiments.SetBatch(*batch)
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)

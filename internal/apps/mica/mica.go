@@ -18,8 +18,6 @@ package mica
 
 import (
 	"fmt"
-	"hash/fnv"
-	"sync"
 
 	"syrup/internal/kernel"
 	"syrup/internal/netstack"
@@ -50,26 +48,34 @@ func (m Mode) String() string {
 	return "?"
 }
 
-// Partition is one thread's exclusive shard.
+// Partition is one thread's exclusive shard. Values in the simulation are
+// synthetic, so the store reduces to a presence bitset over the hashed key
+// space; EREW ownership (only the home thread ever touches a partition)
+// means no lock is needed.
 type Partition struct {
-	mu   sync.Mutex
-	data map[uint64]string
+	present []uint64
 
 	Gets, Puts, Misses uint64
 }
 
-func newPartition() *Partition { return &Partition{data: make(map[uint64]string)} }
+func newPartition(keySpace int) *Partition {
+	return &Partition{present: make([]uint64, (keySpace+63)/64)}
+}
+
+// Has reports whether key is present (tests).
+func (p *Partition) Has(key uint64) bool {
+	return p.present[key>>6]&(1<<(key&63)) != 0
+}
 
 // KeyHash is the client-side hash MICA clients compute and embed in the
-// request header.
+// request header: FNV-1a over the key's 8 little-endian bytes.
 func KeyHash(key uint64) uint32 {
-	h := fnv.New32a()
-	var b [8]byte
+	h := uint32(2166136261)
 	for i := 0; i < 8; i++ {
-		b[i] = byte(key >> (8 * i))
+		h ^= uint32(key>>(8*i)) & 0xff
+		h *= 16777619
 	}
-	h.Write(b[:])
-	return h.Sum32()
+	return h
 }
 
 // Config describes a MICA deployment.
@@ -149,7 +155,7 @@ func NewServer(eng *sim.Engine, m *kernel.Machine, stack *netstack.Stack, cfg Co
 	s := &Server{cfg: cfg, eng: eng}
 	n := cfg.NumThreads
 	for i := 0; i < n; i++ {
-		s.partitions = append(s.partitions, newPartition())
+		s.partitions = append(s.partitions, newPartition(cfg.KeySpace))
 	}
 
 	// Socket topology per mode (paper §5.4):
@@ -214,57 +220,81 @@ func (s *Server) Threads() []*kernel.Thread { return s.threads }
 // homeOf maps a key hash to its home thread.
 func (s *Server) homeOf(keyHash uint32) int { return int(keyHash) % s.cfg.NumThreads }
 
+// worker is one thread's poll state plus its preallocated continuations:
+// the serve hot path parks per-request state here and hands th.Exec a
+// long-lived func, so steady-state request service allocates nothing.
+type worker struct {
+	s       *Server
+	th      *kernel.Thread
+	me      int
+	sources []*netstack.Socket
+	next    int
+
+	loop func()
+	wake func()
+
+	// In-flight request, consumed by opCont / fwdCont.
+	pkt     *nic.Packet
+	home    int
+	keyHash uint32
+	reqType uint64
+	reqID   uint64
+
+	opCont  func()
+	fwdCont func()
+}
+
 // workerLoop polls the thread's sockets (and ring, in redirect mode) and
 // serves requests.
 func (s *Server) workerLoop(th *kernel.Thread, me int) {
-	var loop func()
-	sources := make([]*netstack.Socket, 0, len(s.xsks[me])+1)
+	w := &worker{s: s, th: th, me: me}
+	w.sources = make([]*netstack.Socket, 0, len(s.xsks[me])+1)
 	if s.rings != nil {
-		sources = append(sources, s.rings[me]) // ring first: finish in-flight work
+		w.sources = append(w.sources, s.rings[me]) // ring first: finish in-flight work
 	}
-	sources = append(sources, s.xsks[me]...)
-	next := 0
-	loop = func() {
+	w.sources = append(w.sources, s.xsks[me]...)
+	w.wake = func() { th.Wake() }
+	w.opCont = w.finishOp
+	w.fwdCont = w.finishForward
+	w.loop = func() {
 		var pkt *nic.Packet
 		var fromRing bool
-		for i := 0; i < len(sources); i++ {
-			src := sources[(next+i)%len(sources)]
+		for i := 0; i < len(w.sources); i++ {
+			src := w.sources[(w.next+i)%len(w.sources)]
 			if p := src.TryRecv(); p != nil {
 				pkt = p
 				fromRing = s.rings != nil && src == s.rings[me]
-				next = (next + i + 1) % len(sources)
+				w.next = (w.next + i + 1) % len(w.sources)
 				break
 			}
 		}
 		if pkt == nil {
-			for _, src := range sources {
-				src.SetWaiter(func() { th.Wake() })
+			for _, src := range w.sources {
+				src.SetWaiter(w.wake)
 			}
-			th.Block(loop)
+			th.Block(w.loop)
 			return
 		}
-		s.serve(th, me, pkt, fromRing, loop)
+		s.serve(w, pkt, fromRing)
 	}
-	loop()
+	w.loop()
 }
 
-func (s *Server) serve(th *kernel.Thread, me int, pkt *nic.Packet, fromRing bool, loop func()) {
+func (s *Server) serve(w *worker, pkt *nic.Packet, fromRing bool) {
 	reqType, _, keyHash, reqID, ok := policy.DecodeHeader(pkt.Payload)
 	if !ok {
-		loop()
+		pkt.Free()
+		w.loop()
 		return
 	}
 	home := s.homeOf(keyHash)
 
 	// SW-redirect mode: a packet from the NIC may belong to another
 	// thread's partition; parse and forward it over the ring.
-	if s.cfg.Mode == ModeSWRedirect && !fromRing && home != me {
+	if s.cfg.Mode == ModeSWRedirect && !fromRing && home != w.me {
 		s.Forwarded++
-		cost := s.cfg.PollCost + s.cfg.ParseCost + s.cfg.EnqueueCost
-		th.Exec(cost, func() {
-			s.rings[home].Enqueue(pkt) // ring overflow drops, like DPDK
-			loop()
-		})
+		w.pkt, w.home = pkt, home
+		w.th.Exec(s.cfg.PollCost+s.cfg.ParseCost+s.cfg.EnqueueCost, w.fwdCont)
 		return
 	}
 
@@ -272,7 +302,7 @@ func (s *Server) serve(th *kernel.Thread, me int, pkt *nic.Packet, fromRing bool
 	cost := s.cfg.PollCost
 	if fromRing {
 		cost += s.cfg.DequeueCost + s.cfg.CrossCost
-	} else if s.cfg.Mode == ModeSyrupSW && int(pkt.Queue) != me {
+	} else if s.cfg.Mode == ModeSyrupSW && int(pkt.Queue) != w.me {
 		// The packet's softirq/XSK work happened on a foreign queue's
 		// buddy; its lines arrive cold.
 		cost += s.cfg.CrossCost
@@ -285,28 +315,45 @@ func (s *Server) serve(th *kernel.Thread, me int, pkt *nic.Packet, fromRing bool
 	}
 	cost += op
 
-	th.Exec(cost, func() {
-		// The real partition operation (EREW: only this thread touches
-		// partition `home`; redirect mode guarantees home == me here).
-		p := s.partitions[home]
-		key := uint64(keyHash) % uint64(s.cfg.KeySpace)
-		p.mu.Lock()
-		switch reqType {
-		case policy.ReqPUT:
-			p.data[key] = "v"
-			p.Puts++
-		default:
-			if _, ok := p.data[key]; !ok {
-				p.Misses++
-			}
-			p.Gets++
+	w.pkt, w.home, w.keyHash, w.reqType, w.reqID = pkt, home, keyHash, reqType, reqID
+	w.th.Exec(cost, w.opCont)
+}
+
+// finishForward pushes the parked packet onto its home thread's ring.
+func (w *worker) finishForward() {
+	pkt := w.pkt
+	w.pkt = nil
+	if !w.s.rings[w.home].Enqueue(pkt) {
+		pkt.Free() // ring overflow drops, like DPDK
+	}
+	w.loop()
+}
+
+// finishOp applies the parked request to its partition and completes it.
+func (w *worker) finishOp() {
+	s := w.s
+	// The real partition operation (EREW: only this thread touches
+	// partition `home`; redirect mode guarantees home == me here).
+	p := s.partitions[w.home]
+	key := uint64(w.keyHash) % uint64(s.cfg.KeySpace)
+	word, bit := key>>6, uint64(1)<<(key&63)
+	switch w.reqType {
+	case policy.ReqPUT:
+		p.present[word] |= bit
+		p.Puts++
+	default:
+		if p.present[word]&bit == 0 {
+			p.Misses++
 		}
-		p.mu.Unlock()
-		if s.cfg.OnComplete != nil {
-			s.cfg.OnComplete(reqID, s.eng.Now())
-		}
-		loop()
-	})
+		p.Gets++
+	}
+	pkt := w.pkt
+	w.pkt = nil
+	if s.cfg.OnComplete != nil {
+		s.cfg.OnComplete(w.reqID, s.eng.Now())
+	}
+	pkt.Free()
+	w.loop()
 }
 
 // Partition exposes partition i (tests).

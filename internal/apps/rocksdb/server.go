@@ -84,6 +84,7 @@ type Server struct {
 	LocalityHits uint64
 
 	warmFlows [][]uint64 // per-thread LRU of recently served flows
+	keyTable  []string   // precomputed canonical keys, indexed by keyHash % KeySpace
 }
 
 // NewServer creates the server's threads and sockets. Each worker thread
@@ -109,6 +110,12 @@ func NewServer(eng *sim.Engine, m *kernel.Machine, stack *netstack.Stack, cfg Co
 	if s.store == nil {
 		s.store = NewStore()
 		s.store.Preload(cfg.KeySpace)
+	}
+	// Rendering "key-%08d" per request would dominate the serve path's
+	// allocations; the key space is small and fixed, so build it once.
+	s.keyTable = make([]string, cfg.KeySpace)
+	for i := range s.keyTable {
+		s.keyTable[i] = Key(i)
 	}
 	for i := 0; i < cfg.NumThreads; i++ {
 		i := i
@@ -175,33 +182,58 @@ func (s *Server) touchFlow(slot int, flow uint64) bool {
 	return false
 }
 
+// worker is one thread's serve-loop state plus its preallocated
+// continuation, so steady-state request service schedules on th.Exec
+// without allocating a closure per request.
+type worker struct {
+	s    *Server
+	th   *kernel.Thread
+	slot int
+	sock *netstack.Socket
+	// wasBlocked marks that this packet's dequeue followed a block→wake
+	// cycle, so the serve path can attribute the runqueue wait.
+	wasBlocked bool
+
+	loop func()
+	wake func()
+
+	// In-flight request, consumed by opCont.
+	pkt     *nic.Packet
+	reqType uint64
+	reqID   uint64
+	keyHash uint32
+	start   sim.Time
+
+	opCont func()
+}
+
 // workerLoop is the per-thread serve loop: recv → mark type → burn the
 // service time → perform the real storage op → reply → repeat.
 func (s *Server) workerLoop(th *kernel.Thread, slot int) {
-	sock := s.sockets[slot]
-	// wasBlocked marks that this packet's dequeue followed a block→wake
-	// cycle, so the serve path can attribute the runqueue wait.
-	wasBlocked := false
-	var loop func()
-	loop = func() {
-		pkt := sock.TryRecv()
+	w := &worker{s: s, th: th, slot: slot, sock: s.sockets[slot]}
+	w.wake = func() { th.Wake() }
+	w.opCont = w.finishOp
+	w.loop = func() {
+		pkt := w.sock.TryRecv()
 		if pkt == nil {
-			sock.WaitRecv(func() { th.Wake() })
-			wasBlocked = true
-			th.Block(loop)
+			w.sock.WaitRecv(w.wake)
+			w.wasBlocked = true
+			th.Block(w.loop)
 			return
 		}
-		blocked := wasBlocked
-		wasBlocked = false
-		s.serve(th, slot, pkt, blocked, loop)
+		blocked := w.wasBlocked
+		w.wasBlocked = false
+		s.serve(w, pkt, blocked)
 	}
-	loop()
+	w.loop()
 }
 
-func (s *Server) serve(th *kernel.Thread, slot int, pkt *nic.Packet, wasBlocked bool, loop func()) {
+func (s *Server) serve(w *worker, pkt *nic.Packet, wasBlocked bool) {
+	th, slot := w.th, w.slot
 	reqType, _, keyHash, reqID, ok := policy.DecodeHeader(pkt.Payload)
 	if !ok {
-		loop() // malformed request: ignore
+		pkt.Free()
+		w.loop() // malformed request: ignore
 		return
 	}
 	start := s.eng.Now()
@@ -234,33 +266,39 @@ func (s *Server) serve(th *kernel.Thread, slot int, pkt *nic.Packet, wasBlocked 
 		}
 	}
 	total := s.cfg.RecvOverhead + service + s.cfg.SendOverhead
-	th.Exec(total, func() {
-		// Perform the real storage operation (virtual time already
-		// charged above).
-		key := Key(int(keyHash) % s.cfg.KeySpace)
-		switch reqType {
-		case policy.ReqSCAN:
-			s.store.Scan(key, 100)
-			s.ProcessedSCAN++
-		case policy.ReqPUT:
-			s.store.Put(key, "updated")
-			s.ProcessedGET++
-		default:
-			s.store.Get(key)
-			s.ProcessedGET++
-		}
-		if s.cfg.ScanState != nil {
-			s.cfg.ScanState.UpdateUint64(uint32(slot), policy.ReqGET)
-		}
-		if s.cfg.Tracer.Enabled() {
-			s.cfg.Tracer.Record(trace.Span{
-				Req: pkt.ID, Start: start, End: s.eng.Now(), Stage: trace.StageOnCPU,
-				CPU: int32(th.LastCPU()), Executor: uint32(slot), Port: pkt.DstPort,
-			})
-		}
-		if s.cfg.OnComplete != nil {
-			s.cfg.OnComplete(reqID, s.eng.Now())
-		}
-		loop()
-	})
+	w.pkt, w.reqType, w.reqID, w.keyHash, w.start = pkt, reqType, reqID, keyHash, start
+	th.Exec(total, w.opCont)
+}
+
+// finishOp performs the real storage operation for the parked request
+// (virtual time already charged by serve) and completes it.
+func (w *worker) finishOp() {
+	s, slot, pkt := w.s, w.slot, w.pkt
+	w.pkt = nil
+	key := s.keyTable[int(w.keyHash)%s.cfg.KeySpace]
+	switch w.reqType {
+	case policy.ReqSCAN:
+		s.store.Scan(key, 100)
+		s.ProcessedSCAN++
+	case policy.ReqPUT:
+		s.store.Put(key, "updated")
+		s.ProcessedGET++
+	default:
+		s.store.Get(key)
+		s.ProcessedGET++
+	}
+	if s.cfg.ScanState != nil {
+		s.cfg.ScanState.UpdateUint64(uint32(slot), policy.ReqGET)
+	}
+	if s.cfg.Tracer.Enabled() {
+		s.cfg.Tracer.Record(trace.Span{
+			Req: pkt.ID, Start: w.start, End: s.eng.Now(), Stage: trace.StageOnCPU,
+			CPU: int32(w.th.LastCPU()), Executor: uint32(slot), Port: pkt.DstPort,
+		})
+	}
+	if s.cfg.OnComplete != nil {
+		s.cfg.OnComplete(w.reqID, s.eng.Now())
+	}
+	pkt.Free()
+	w.loop()
 }

@@ -1,0 +1,60 @@
+package ebpf
+
+// Batch execution: the NAPI/XDP-bulk analogue for the VM. A burst of
+// invocations of one program shares a single pooled runState — one pool
+// get/put per burst instead of one per run — while every per-run effect
+// (register/stack reset, stats, instret and fault charging, tail-call
+// handling) stays bit-identical to calling Run once per input. Dispatch
+// counters are accumulated locally and flushed at End, so the totals a
+// batch leaves behind equal those of N individual runs.
+
+// BatchRun executes a burst of invocations of one program. Obtain one with
+// BeginBatch, call Run once per input, then End to release the pooled
+// state. A BatchRun is single-threaded, like the event loop that drives
+// it; zero value is invalid.
+type BatchRun struct {
+	p  *Program
+	rs *runState
+	// compiled counts threaded-code entries to flush into the dispatch
+	// counters at End (interpreter entries are charged per-run, matching
+	// runInterp, since NoJIT programs are off the hot path).
+	compiled uint64
+}
+
+// BeginBatch starts a burst of runs of p. The returned value borrows one
+// pooled runState for the whole burst when p is compiled; NoJIT programs
+// fall back to per-run interpretation, exactly as Run would.
+func (p *Program) BeginBatch() BatchRun {
+	b := BatchRun{p: p}
+	if p.code != nil {
+		b.rs = runStatePool.Get().(*runState)
+	}
+	return b
+}
+
+// Run executes one invocation of the burst against ctx, equivalent in
+// every observable way (verdict, stats, accounting, errors) to
+// Program.Run(ctx, env).
+func (b *BatchRun) Run(ctx *Ctx, env *Env) (uint32, ExecStats, error) {
+	if b.rs == nil {
+		ret, st, err := b.p.runInterp(ctx, env)
+		return uint32(ret), st, err
+	}
+	b.compiled++
+	ret, err := b.p.execCompiled(b.rs, ctx, env)
+	return uint32(ret), b.rs.stats, err
+}
+
+// End returns the pooled state and flushes the burst's dispatch counters.
+// Idempotent; the BatchRun must not be used afterwards.
+func (b *BatchRun) End() {
+	if b.rs != nil {
+		putRunState(b.rs)
+		b.rs = nil
+	}
+	if b.compiled > 0 {
+		b.p.compiledRuns.Add(b.compiled)
+		ctrCompiledRuns.Add(b.compiled)
+		b.compiled = 0
+	}
+}

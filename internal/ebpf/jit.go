@@ -69,10 +69,21 @@ func putRunState(rs *runState) { runStatePool.Put(rs) }
 func (p *Program) runCompiled(ctx *Ctx, env *Env) (uint64, ExecStats, error) {
 	p.compiledRuns.Add(1)
 	ctrCompiledRuns.Inc()
+	rs := runStatePool.Get().(*runState)
+	ret, err := p.execCompiled(rs, ctx, env)
+	st := rs.stats
+	putRunState(rs)
+	return ret, st, err
+}
+
+// execCompiled resets rs for one invocation and drives the threaded code.
+// The caller owns rs (pool get/put), so a batch entry point can reuse one
+// state across a whole burst; everything per-run — reset, accounting,
+// instret/fault charging — happens here and is identical to runCompiled.
+func (p *Program) execCompiled(rs *runState, ctx *Ctx, env *Env) (uint64, error) {
 	if env == nil {
 		env = &defaultEnv
 	}
-	rs := runStatePool.Get().(*runState)
 	rs.regions = rs.regions[:0]
 	rs.stats = ExecStats{}
 	rs.extra = 0
@@ -107,10 +118,7 @@ func (p *Program) runCompiled(ctx *Ctx, env *Env) (uint64, ExecStats, error) {
 		prog.runs.Add(1)
 		switch pc {
 		case opExit:
-			ret := rs.regs[R0]
-			st := rs.stats
-			putRunState(rs)
-			return ret, st, nil
+			return rs.regs[R0], nil
 		case opTail:
 			charged = 0
 			target := rs.tail
@@ -121,10 +129,7 @@ func (p *Program) runCompiled(ctx *Ctx, env *Env) (uint64, ExecStats, error) {
 				ctrTailInterpFallbck.Inc()
 				target.interpRuns.Add(1)
 				ctrInterpRuns.Inc()
-				ret, err := interpExec(target, rs)
-				st := rs.stats
-				putRunState(rs)
-				return ret, st, err
+				return interpExec(target, rs)
 			}
 			prog = target
 			code = target.code
@@ -135,9 +140,7 @@ func (p *Program) runCompiled(ctx *Ctx, env *Env) (uint64, ExecStats, error) {
 			prog.faults.Add(1)
 			err := rs.err
 			rs.err = nil
-			st := rs.stats
-			putRunState(rs)
-			return 0, st, err
+			return 0, err
 		default:
 			if pc < 0 {
 				// NoVerify garbage jumped to a negative pc; the interpreter
@@ -145,10 +148,7 @@ func (p *Program) runCompiled(ctx *Ctx, env *Env) (uint64, ExecStats, error) {
 				_ = prog.insns[pc]
 			}
 			prog.faults.Add(1)
-			err := fmt.Errorf("ebpf: %s: pc %d out of range", prog.name, pc)
-			st := rs.stats
-			putRunState(rs)
-			return 0, st, err
+			return 0, fmt.Errorf("ebpf: %s: pc %d out of range", prog.name, pc)
 		}
 	}
 }

@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"syrup/internal/apps/mica"
+	"syrup/internal/metrics"
+	"syrup/internal/policy"
+	"syrup/internal/trace"
+	"syrup/internal/workload"
+)
+
+// diffWindows keeps the differential slices quick; bit-identity must hold
+// for any window lengths, so short ones lose no coverage.
+var diffWindows = Windows{
+	Warmup:  20 * 1e6,
+	Measure: 80 * 1e6,
+	Drain:   60 * 1e6,
+}
+
+// statsDigest renders every client-observable statistic of a run — exact
+// counters, drop causes, and the full latency distribution shape — so two
+// digests match only if the runs were statistically indistinguishable.
+func statsDigest(r *workload.Result) string {
+	var b strings.Builder
+	writeStats := func(name string, st *metrics.RunStats) {
+		fmt.Fprintf(&b, "%s offered=%d completed=%d window=%d", name, st.Offered, st.Completed, st.WindowNanos)
+		causes := make([]string, 0, len(st.Drops))
+		for c := range st.Drops {
+			causes = append(causes, string(c))
+		}
+		sort.Strings(causes)
+		for _, c := range causes {
+			fmt.Fprintf(&b, " %s=%d", c, st.Drops[metrics.DropCause(c)])
+		}
+		h := st.Latency
+		fmt.Fprintf(&b, " n=%d mean=%v min=%d max=%d p50=%d p90=%d p99=%d p999=%d\n",
+			h.Count(), h.Mean(), h.Min(), h.Max(),
+			h.Percentile(50), h.Percentile(90), h.Percentile(99), h.Percentile(99.9))
+	}
+	writeStats("all", r.All)
+	names := make([]string, 0, len(r.PerClass))
+	for n := range r.PerClass {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		writeStats(n, r.PerClass[n])
+	}
+	return b.String()
+}
+
+// withBatch runs fn at each requested batch size, restoring the legacy
+// datapath afterwards, and asserts every digest matches the batch=1 one.
+// Because each packet arms its own drain event at the same points the
+// per-packet pipeline allocates its events, same-instant event ordering —
+// and with it every RNG draw and admission decision — is preserved at any
+// batch size (see DESIGN.md "Batched datapath").
+func withBatch(t *testing.T, label string, fn func() string) {
+	t.Helper()
+	defer SetBatch(0)
+	SetBatch(1)
+	ref := fn()
+	for _, batch := range []int{8, 64} {
+		SetBatch(batch)
+		if got := fn(); got != ref {
+			t.Fatalf("%s diverged at batch=%d:\n--- batch=1\n%s--- batch=%d\n%s", label, batch, ref, batch, got)
+		}
+	}
+}
+
+// TestBatchDifferentialFig2Slice: the Fig. 2 setup (6 cores, pure GET,
+// vanilla vs round-robin reuseport) at batch 1 vs 8 vs 64.
+func TestBatchDifferentialFig2Slice(t *testing.T) {
+	for _, pol := range []SocketPolicy{PolicyVanilla, PolicyRoundRobin} {
+		withBatch(t, "fig2/"+string(pol), func() string {
+			r := runRocksPoint(rocksPoint{
+				Seed: 1007, Load: 300_000, NumCPUs: 6, NumThreads: 6,
+				PinToCores: true, Flows: 50,
+				Classes: []workload.Class{{Name: "GET", Weight: 1, Type: policy.ReqGET}},
+				Policy:  pol, Windows: diffWindows,
+			})
+			return statsDigest(r)
+		})
+	}
+}
+
+// TestBatchDifferentialFig6Slice: the mixed GET/SCAN workload under the
+// scan_avoid and sita policies.
+func TestBatchDifferentialFig6Slice(t *testing.T) {
+	for _, pol := range []SocketPolicy{PolicyScanAvoid, PolicySITA} {
+		withBatch(t, "fig6/"+string(pol), func() string {
+			r := runRocksPoint(rocksPoint{
+				Seed: 2011, Load: 200_000, NumCPUs: 6, NumThreads: 6,
+				PinToCores: true, Flows: 50,
+				Classes: fig6Mix, Policy: pol, Windows: diffWindows,
+			})
+			return statsDigest(r)
+		})
+	}
+}
+
+// TestBatchDifferentialFig8Slice: 36 unpinned threads with the ghOSt
+// thread-scheduling policy on top of socket steering.
+func TestBatchDifferentialFig8Slice(t *testing.T) {
+	withBatch(t, "fig8/scan_avoid+threadsched", func() string {
+		r := runRocksPoint(rocksPoint{
+			Seed: 47, Load: 120_000, NumCPUs: 6, NumThreads: 36,
+			PinToCores: false, Classes: fig8Mix,
+			Policy: PolicyScanAvoid, ThreadSched: true, Windows: diffWindows,
+		})
+		return statsDigest(r)
+	})
+}
+
+// TestBatchDifferentialFig9Slice: MICA with steering at all three layers
+// (app redirect, kernel AF_XDP, NIC offload).
+func TestBatchDifferentialFig9Slice(t *testing.T) {
+	for _, mode := range []mica.Mode{mica.ModeSWRedirect, mica.ModeSyrupSW, mica.ModeSyrupHW} {
+		withBatch(t, "fig9/"+mode.String(), func() string {
+			r := runMicaPoint(micaPoint{
+				Seed: 53, Load: 800_000, Mode: mode, GetFrac: 0.5,
+				Windows: diffWindows,
+			})
+			return statsDigest(r)
+		})
+	}
+}
+
+// TestBatchTraceReconciliation: a traced point at batch 8 records exactly
+// the per-request span set of the per-packet pipeline — same stages, same
+// instants, same verdicts — and the client-observed result matches too.
+func TestBatchTraceReconciliation(t *testing.T) {
+	run := func(batch int) (*TraceRun, string) {
+		SetBatch(batch)
+		tr := RunTraced(TraceConfig{
+			Seed: 5, Load: 60_000, ScanPct: 0.5, Policy: PolicyScanAvoid,
+			Capacity: 1 << 20, Windows: diffWindows,
+		})
+		return tr, statsDigest(tr.Result)
+	}
+	defer SetBatch(0)
+	refRun, ref := run(1)
+	gotRun, got := run(8)
+	if got != ref {
+		t.Fatalf("traced result diverged:\n--- batch=1\n%s--- batch=8\n%s", ref, got)
+	}
+	if refRun.Recorder.Dropped() != 0 || gotRun.Recorder.Dropped() != 0 {
+		t.Fatalf("span ring wrapped (%d/%d dropped); grow Capacity so the comparison is exact",
+			refRun.Recorder.Dropped(), gotRun.Recorder.Dropped())
+	}
+	refSpans := sortedSpans(refRun.Recorder.Spans())
+	gotSpans := sortedSpans(gotRun.Recorder.Spans())
+	if len(refSpans) != len(gotSpans) {
+		t.Fatalf("span count diverged: batch=1 %d, batch=8 %d", len(refSpans), len(gotSpans))
+	}
+	for i := range refSpans {
+		if refSpans[i] != gotSpans[i] {
+			t.Fatalf("span %d diverged:\nbatch=1 %+v\nbatch=8 %+v", i, refSpans[i], gotSpans[i])
+		}
+	}
+	if a, b := refRun.StageSumMean(), gotRun.StageSumMean(); a != b {
+		t.Fatalf("stage-sum mean diverged: %v vs %v", a, b)
+	}
+}
+
+// BenchmarkDatapathBurst measures one MICA kernel-steering load point at
+// increasing drain budgets. Results are bit-identical across budgets
+// (gated by the differential tests above); the benchmark shows what the
+// burst datapath buys in wall-clock and allocations.
+func BenchmarkDatapathBurst(b *testing.B) {
+	for _, batch := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			SetBatch(batch)
+			defer SetBatch(0)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				runMicaPoint(micaPoint{
+					Seed: 53, Load: 1_500_000, Mode: mica.ModeSyrupSW, GetFrac: 0.5,
+					Windows: FastWindows,
+				})
+			}
+		})
+	}
+}
+
+// sortedSpans orders a span set canonically: batch dispatch may record
+// same-instant spans in a different relative order than the per-packet
+// pipeline, but the multiset must be identical.
+func sortedSpans(spans []trace.Span) []trace.Span {
+	out := append([]trace.Span(nil), spans...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Req != b.Req {
+			return a.Req < b.Req
+		}
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Stage != b.Stage {
+			return a.Stage < b.Stage
+		}
+		if a.End != b.End {
+			return a.End < b.End
+		}
+		if a.CPU != b.CPU {
+			return a.CPU < b.CPU
+		}
+		return a.Executor < b.Executor
+	})
+	return out
+}

@@ -54,6 +54,7 @@ func runMicaPoint(pt micaPoint) *workload.Result {
 		Seed:      pt.Seed,
 		NumCPUs:   micaN,
 		NICQueues: micaN,
+		Batch:     batchSize,
 	})
 	app, err := host.RegisterApp(micaApp, micaUID, micaPort)
 	if err != nil {

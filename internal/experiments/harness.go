@@ -38,6 +38,14 @@ var FastWindows = Windows{
 	Drain:   150 * sim.Millisecond,
 }
 
+// batchSize is the NAPI-style drain budget every experiment host is built
+// with (0/1 = legacy per-packet path). Results are bit-identical across
+// batch sizes; only wall-clock changes. Set via SetBatch before running.
+var batchSize int
+
+// SetBatch sets the datapath drain budget for subsequently built hosts.
+func SetBatch(n int) { batchSize = n }
+
 // SocketPolicy names the socket-selection policy a RocksDB point uses.
 type SocketPolicy string
 
@@ -124,6 +132,7 @@ func runRocksPointFull(pt rocksPoint) (*workload.Result, *rocksdb.Server, *syrup
 		Seed:       pt.Seed,
 		NumCPUs:    pt.NumCPUs,
 		NICQueues:  pt.NumCPUs, // one RX queue per core, IRQs on buddies (§5.1.1)
+		Batch:      batchSize,
 		Trace:      pt.Tracer,
 		Faults:     pt.Faults,
 		Quarantine: pt.Quarantine,

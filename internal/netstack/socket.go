@@ -24,8 +24,14 @@ type Socket struct {
 	// Label is a human-readable identity for debugging ("rocksdb-w3").
 	Label string
 
+	// queue is a fixed circular buffer of cap slots: head indexes the
+	// oldest datagram, count the occupancy. A ring (rather than an
+	// append+reslice slice) keeps steady-state enqueue/recv allocation-
+	// free, like the kernel's fixed-size sk_receive_queue budget.
 	cap    int
 	queue  []*nic.Packet
+	head   int
+	count  int
 	waiter func()
 	// group backlink, set when the owning reuseport group uses late
 	// binding; TryRecv then draws from the group's shared queue.
@@ -46,7 +52,7 @@ func NewSocket(port uint16, app uint32, capacity int, label string) *Socket {
 	if capacity <= 0 {
 		panic("netstack: socket capacity must be positive")
 	}
-	return &Socket{Port: port, App: app, cap: capacity, Label: label}
+	return &Socket{Port: port, App: app, cap: capacity, queue: make([]*nic.Packet, capacity), Label: label}
 }
 
 // Close marks the socket dead: enqueues fail from now on and the stack
@@ -61,11 +67,16 @@ func (s *Socket) Closed() bool { return s.closed }
 // Enqueue appends a packet, waking any parked waiter. It reports false
 // (and counts a drop) when the queue is full or the socket is closed.
 func (s *Socket) Enqueue(pkt *nic.Packet) bool {
-	if s.closed || len(s.queue) >= s.cap {
+	if s.closed || s.count >= s.cap {
 		s.Drops++
 		return false
 	}
-	s.queue = append(s.queue, pkt)
+	slot := s.head + s.count
+	if slot >= s.cap {
+		slot -= s.cap
+	}
+	s.queue[slot] = pkt
+	s.count++
 	s.Enqueued++
 	if w := s.waiter; w != nil {
 		s.waiter = nil
@@ -81,17 +92,21 @@ func (s *Socket) TryRecv() *nic.Packet {
 	if s.group != nil && s.group.lateBinding {
 		return s.group.latePop()
 	}
-	if len(s.queue) == 0 {
+	if s.count == 0 {
 		return nil
 	}
-	pkt := s.queue[0]
-	s.queue[0] = nil
-	s.queue = s.queue[1:]
+	pkt := s.queue[s.head]
+	s.queue[s.head] = nil
+	s.head++
+	if s.head == s.cap {
+		s.head = 0
+	}
+	s.count--
 	return pkt
 }
 
 // Len reports queued datagrams.
-func (s *Socket) Len() int { return len(s.queue) }
+func (s *Socket) Len() int { return s.count }
 
 // WaitRecv parks fn until the next enqueue. Only one waiter may be parked;
 // a second registration is a modeling bug (each socket belongs to one
@@ -126,8 +141,11 @@ type ReuseportGroup struct {
 	// are handed to whichever executor asks for work next — eliminating
 	// executor-side head-of-line blocking at the cost of a central queue.
 	lateBinding bool
-	lateQueue   []*nic.Packet
-	lateCap     int
+	// Shared queue as a fixed ring (same shape as Socket's queue).
+	lateQueue []*nic.Packet
+	lateHead  int
+	lateCount int
+	lateCap   int
 
 	// Stats.
 	PolicyRuns   uint64
@@ -147,6 +165,8 @@ func (g *ReuseportGroup) EnableLateBinding(capacity int) {
 	}
 	g.lateBinding = true
 	g.lateCap = capacity
+	g.lateQueue = make([]*nic.Packet, capacity)
+	g.lateHead, g.lateCount = 0, 0
 	for _, s := range g.sockets {
 		s.group = g
 	}
@@ -157,11 +177,16 @@ func (g *ReuseportGroup) LateBinding() bool { return g.lateBinding }
 
 // lateEnqueue buffers a datagram centrally and wakes one parked executor.
 func (g *ReuseportGroup) lateEnqueue(pkt *nic.Packet) bool {
-	if len(g.lateQueue) >= g.lateCap {
+	if g.lateCount >= g.lateCap {
 		g.LateDrops++
 		return false
 	}
-	g.lateQueue = append(g.lateQueue, pkt)
+	slot := g.lateHead + g.lateCount
+	if slot >= g.lateCap {
+		slot -= g.lateCap
+	}
+	g.lateQueue[slot] = pkt
+	g.lateCount++
 	for _, s := range g.sockets {
 		if w := s.waiter; w != nil {
 			s.waiter = nil
@@ -174,17 +199,21 @@ func (g *ReuseportGroup) lateEnqueue(pkt *nic.Packet) bool {
 
 // latePop hands the head datagram to an executor that became available.
 func (g *ReuseportGroup) latePop() *nic.Packet {
-	if len(g.lateQueue) == 0 {
+	if g.lateCount == 0 {
 		return nil
 	}
-	pkt := g.lateQueue[0]
-	g.lateQueue[0] = nil
-	g.lateQueue = g.lateQueue[1:]
+	pkt := g.lateQueue[g.lateHead]
+	g.lateQueue[g.lateHead] = nil
+	g.lateHead++
+	if g.lateHead == g.lateCap {
+		g.lateHead = 0
+	}
+	g.lateCount--
 	return pkt
 }
 
 // QueuedLate reports the shared-queue depth.
-func (g *ReuseportGroup) QueuedLate() int { return len(g.lateQueue) }
+func (g *ReuseportGroup) QueuedLate() int { return g.lateCount }
 
 // NewReuseportGroup creates an empty group for a port.
 func NewReuseportGroup(port uint16, app uint32) *ReuseportGroup {

@@ -10,7 +10,7 @@ package nic
 import (
 	"encoding/binary"
 	"fmt"
-	"hash/fnv"
+	"sync"
 
 	"syrup/internal/ebpf"
 	"syrup/internal/faults"
@@ -54,39 +54,106 @@ type Packet struct {
 
 	// wire caches the policy-visible byte view.
 	wire []byte
+
+	// hdr is scratch storage for small generated payloads (see HeaderBuf);
+	// pooled/freed drive the page-pool-style recycler (see NewPacket/Free).
+	hdr    [32]byte
+	pooled bool
+	freed  bool
+}
+
+// pktPool recycles Packets across requests — the simulator's page_pool:
+// the datapath allocates one descriptor per request at the generator and
+// returns it at its terminal point (serve completion or drop), so
+// steady-state load stops exercising the garbage collector.
+var pktPool = sync.Pool{New: func() any { return new(Packet) }}
+
+// NewPacket returns a zeroed Packet from the recycler. Packets obtained
+// here should be released with Free at their terminal point; packets built
+// with a plain literal are ordinary GC-managed values and Free ignores
+// them, so the two allocation styles mix safely.
+func NewPacket() *Packet {
+	p := pktPool.Get().(*Packet)
+	p.pooled, p.freed = true, false
+	return p
+}
+
+// HeaderBuf returns the packet's inline scratch buffer (length 0), for
+// building small payloads without a separate heap allocation:
+// pkt.Payload = append(pkt.HeaderBuf(), ...).
+func (p *Packet) HeaderBuf() []byte { return p.hdr[:0] }
+
+// Free returns a pooled packet to the recycler. Only terminal owners may
+// call it — the layer that drops the packet or the server that finished
+// serving it — and only once; a second Free of a live pooled packet is a
+// datapath ownership bug and panics. Free on a non-pooled packet is a
+// no-op.
+func (p *Packet) Free() {
+	if !p.pooled {
+		return
+	}
+	if p.freed {
+		panic(fmt.Sprintf("nic: double Free of packet %d", p.ID))
+	}
+	wire := p.wire
+	*p = Packet{}
+	p.wire = wire[:0]
+	p.pooled, p.freed = true, true
+	pktPool.Put(p)
 }
 
 // Bytes renders the policy-visible view: an 8-byte UDP header followed by
 // the payload. The slice is cached; policies may write to it (XDP allows
-// packet writes) and later hooks will observe those writes.
+// packet writes) and later hooks will observe those writes. Recycled
+// packets rebuild into the previous packet's buffer when it is large
+// enough.
 func (p *Packet) Bytes() []byte {
-	if p.wire == nil {
-		p.wire = make([]byte, 8+len(p.Payload))
+	if len(p.wire) == 0 {
+		need := 8 + len(p.Payload)
+		if cap(p.wire) < need {
+			p.wire = make([]byte, need)
+		} else {
+			p.wire = p.wire[:need]
+		}
 		binary.BigEndian.PutUint16(p.wire[0:], p.SrcPort)
 		binary.BigEndian.PutUint16(p.wire[2:], p.DstPort)
 		binary.BigEndian.PutUint16(p.wire[4:], uint16(8+len(p.Payload)))
 		// Bytes 6-7: checksum, left zero.
+		p.wire[6], p.wire[7] = 0, 0
 		copy(p.wire[8:], p.Payload)
 	}
 	return p.wire
 }
 
+// FNV-1a, hand-rolled: hash/fnv's digest allocates per packet and its
+// Write call can't inline; this produces bit-identical values.
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
 // RSSHash is the NIC's receive-side-scaling hash over the 5-tuple
-// (deterministic stand-in for Toeplitz).
+// (deterministic stand-in for Toeplitz). The 13 hashed bytes are src IP,
+// dst IP, src port, dst port (big-endian) and the protocol number.
 func (p *Packet) RSSHash() uint32 {
-	h := fnv.New32a()
-	var b [13]byte
-	binary.BigEndian.PutUint32(b[0:], p.SrcIP)
-	binary.BigEndian.PutUint32(b[4:], p.DstIP)
-	binary.BigEndian.PutUint16(b[8:], p.SrcPort)
-	binary.BigEndian.PutUint16(b[10:], p.DstPort)
+	h := uint32(fnvOffset32)
+	h = (h ^ uint32(byte(p.SrcIP>>24))) * fnvPrime32
+	h = (h ^ uint32(byte(p.SrcIP>>16))) * fnvPrime32
+	h = (h ^ uint32(byte(p.SrcIP>>8))) * fnvPrime32
+	h = (h ^ uint32(byte(p.SrcIP))) * fnvPrime32
+	h = (h ^ uint32(byte(p.DstIP>>24))) * fnvPrime32
+	h = (h ^ uint32(byte(p.DstIP>>16))) * fnvPrime32
+	h = (h ^ uint32(byte(p.DstIP>>8))) * fnvPrime32
+	h = (h ^ uint32(byte(p.DstIP))) * fnvPrime32
+	h = (h ^ uint32(byte(p.SrcPort>>8))) * fnvPrime32
+	h = (h ^ uint32(byte(p.SrcPort))) * fnvPrime32
+	h = (h ^ uint32(byte(p.DstPort>>8))) * fnvPrime32
+	h = (h ^ uint32(byte(p.DstPort))) * fnvPrime32
+	proto := byte(17)
 	if p.TCP {
-		b[12] = 6
-	} else {
-		b[12] = 17
+		proto = 6
 	}
-	h.Write(b[:])
-	return h.Sum32()
+	return (h ^ uint32(proto)) * fnvPrime32
 }
 
 // Config sets NIC geometry and costs.
@@ -102,11 +169,20 @@ type Config struct {
 	// HostMapRTT is the host↔NIC round trip for map operations on
 	// offloaded maps (Table 3 measures ≈25 µs on the Netronome).
 	HostMapRTT sim.Time
+	// Budget is the NAPI-style drain budget: the number of ring-resident
+	// packets one softirq delivery event hands to the host. 0 or 1 keeps
+	// the legacy one-event-per-packet path; >1 enables burst drains (see
+	// DESIGN.md "Batched datapath"). Per-packet simulated timestamps are
+	// preserved at any budget.
+	Budget int
 }
 
 func (c *Config) fill() {
 	if c.Queues == 0 {
 		c.Queues = 1
+	}
+	if c.Budget == 0 {
+		c.Budget = 1
 	}
 	if c.RingSize == 0 {
 		c.RingSize = 1024
@@ -123,6 +199,13 @@ func (c *Config) fill() {
 // (softirq) side consumes them. Returning false signals backpressure: the
 // packet stays accounted against the ring until the host drains it.
 type DeliverFunc func(queue int, pkt *Packet)
+
+// BatchDeliverFunc receives a whole burst drained from one queue's ring in
+// one softirq event (Budget > 1). The slice is the NIC's scratch buffer:
+// the callee must take what it needs before returning. All packets of a
+// burst share one due instant — per-packet delivery times are identical to
+// the per-packet path.
+type BatchDeliverFunc func(queue int, pkts []*Packet)
 
 // Stats counts NIC-level events.
 type Stats struct {
@@ -157,6 +240,15 @@ type NIC struct {
 	// without allocating.
 	deliverCB sim.Callback
 
+	// Burst-drain state (Budget > 1): per-queue rings of accepted packets
+	// awaiting their softirq delivery instant (each packet arms its own
+	// drain event at Receive), a stored drain callback, and the handoff
+	// scratch.
+	batchDeliver BatchDeliverFunc
+	rings        [][]ringEntry
+	drainCB      sim.Callback
+	burst        []*Packet
+
 	// tracer, when enabled, receives one StageNIC span per packet
 	// (arrival to ring handoff, including offload-engine latency).
 	tracer *trace.Recorder
@@ -174,6 +266,10 @@ func New(eng *sim.Engine, cfg Config, deliver DeliverFunc) *NIC {
 	cfg.fill()
 	n := &NIC{eng: eng, cfg: cfg, deliver: deliver, inflight: make([]int, cfg.Queues)}
 	n.deliverCB = func(arg any, u uint64) { n.deliver(int(u), arg.(*Packet)) }
+	if cfg.Budget > 1 {
+		n.rings = make([][]ringEntry, cfg.Queues)
+		n.drainCB = func(_ any, u uint64) { n.drain(int(u)) }
+	}
 	n.rssTable = make([]int, 128)
 	for i := range n.rssTable {
 		n.rssTable[i] = i % cfg.Queues
@@ -246,6 +342,7 @@ func (n *NIC) Receive(pkt *Packet) {
 		case v.Action == hook.Drop:
 			n.Stats.DroppedByXDP++
 			n.traceNIC(pkt, pkt.ArrivedAt, queue, trace.VerdictDrop)
+			pkt.Free()
 			return
 		case v.Action == hook.Pass:
 			// keep RSS choice
@@ -255,6 +352,7 @@ func (n *NIC) Receive(pkt *Packet) {
 			// Out-of-range executor index: no such queue.
 			n.Stats.DroppedByXDP++
 			n.traceNIC(pkt, pkt.ArrivedAt, queue, trace.VerdictDrop)
+			pkt.Free()
 			return
 		}
 	}
@@ -263,13 +361,90 @@ func (n *NIC) Receive(pkt *Packet) {
 	if n.inflight[queue] >= n.cfg.RingSize || n.faults.Fire(faults.SiteNICRing) {
 		n.Stats.DroppedRing++
 		n.traceNIC(pkt, pkt.ArrivedAt, queue, trace.VerdictDrop)
+		pkt.Free()
 		return
 	}
 	n.inflight[queue]++
 	pkt.Queue = queue
 	n.traceNIC(pkt, pkt.ArrivedAt+extra, queue, trace.VerdictNone)
+	if n.cfg.Budget > 1 {
+		// Burst path: the packet parks on the queue's ring until its due
+		// instant, and its own drain event is armed right here — the same
+		// point the per-packet path allocates its delivery event, so event
+		// sequence numbers (and therefore same-instant FIFO ordering
+		// against unrelated streams) match the legacy path. A drain pops
+		// every due entry up to the budget, so coinciding due instants
+		// still move as one burst and the later events find nothing.
+		n.rings[queue] = append(n.rings[queue], ringEntry{pkt: pkt, due: n.eng.Now() + extra})
+		n.eng.CallAfter(extra, n.drainCB, nil, uint64(queue))
+		return
+	}
 	n.eng.CallAfter(extra, n.deliverCB, pkt, uint64(queue))
 }
+
+// ringEntry is one ring-resident packet awaiting its delivery instant
+// (arrival plus the offload engine's latency; due times are monotone per
+// queue because every packet pays the same offload cost).
+type ringEntry struct {
+	pkt *Packet
+	due sim.Time
+}
+
+// drain is the burst softirq event: hand up to Budget due packets from the
+// queue's ring to the host in one go. The ring accounting (inflight) is
+// decremented by the host per packet actually consumed — never by burst
+// length up front — so a packet the host drops at admission is not
+// double-consumed (the Consumed underflow bug the batched drain originally
+// tripped). A drain finding nothing due is a coinciding later event whose
+// packet an earlier burst already carried.
+func (n *NIC) drain(queue int) {
+	now := n.eng.Now()
+	ring := n.rings[queue]
+	b := n.burst[:0]
+	i := 0
+	for ; i < len(ring) && len(b) < n.cfg.Budget && ring[i].due <= now; i++ {
+		b = append(b, ring[i].pkt)
+		ring[i].pkt = nil
+	}
+	if i == 0 {
+		return
+	}
+	rest := copy(ring, ring[i:])
+	for j := rest; j < len(ring); j++ {
+		ring[j].pkt = nil
+	}
+	n.rings[queue] = ring[:rest]
+	if rest > 0 && ring[0].due <= now {
+		// Budget exhausted with due packets left: their own drain events
+		// coincided with this one and have already fired, so re-arm.
+		n.eng.CallAt(now, n.drainCB, nil, uint64(queue))
+	}
+	n.burst = b
+	n.handoff(queue, b)
+}
+
+// handoff hands a drained burst to the host, preferring the vectorized
+// entry point.
+func (n *NIC) handoff(queue int, pkts []*Packet) {
+	if n.batchDeliver != nil {
+		n.batchDeliver(queue, pkts)
+		return
+	}
+	for _, pkt := range pkts {
+		n.deliver(queue, pkt)
+	}
+}
+
+// SetBatchDeliver installs the burst handoff the drain path uses when the
+// budget exceeds 1 (netstack.Wire supplies Stack.DeliverBatch).
+func (n *NIC) SetBatchDeliver(fn BatchDeliverFunc) { n.batchDeliver = fn }
+
+// Budget reports the configured drain budget.
+func (n *NIC) Budget() int { return n.cfg.Budget }
+
+// Inflight reports how many packets of queue's ring the host has not yet
+// consumed (tests assert ring accounting around burst drains).
+func (n *NIC) Inflight(queue int) int { return n.inflight[queue] }
 
 // traceNIC records the packet's StageNIC span: arrival to ring handoff
 // (end includes the offload engine's added latency); drops end at the

@@ -71,11 +71,18 @@ const HeaderSize = 24
 
 // EncodeHeader builds a request payload header.
 func EncodeHeader(reqType uint64, userID, keyHash uint32, reqID uint64) []byte {
-	b := make([]byte, HeaderSize)
-	binary.LittleEndian.PutUint64(b[0:], reqType)
-	binary.LittleEndian.PutUint32(b[8:], userID)
-	binary.LittleEndian.PutUint32(b[12:], keyHash)
-	binary.LittleEndian.PutUint64(b[16:], reqID)
+	return AppendHeader(nil, reqType, userID, keyHash, reqID)
+}
+
+// AppendHeader appends a request payload header to b (which may be a
+// packet's inline scratch buffer) and returns the extended slice.
+func AppendHeader(b []byte, reqType uint64, userID, keyHash uint32, reqID uint64) []byte {
+	n := len(b)
+	b = append(b, make([]byte, HeaderSize)...)
+	binary.LittleEndian.PutUint64(b[n+0:], reqType)
+	binary.LittleEndian.PutUint32(b[n+8:], userID)
+	binary.LittleEndian.PutUint32(b[n+12:], keyHash)
+	binary.LittleEndian.PutUint64(b[n+16:], reqID)
 	return b
 }
 

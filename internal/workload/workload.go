@@ -112,6 +112,10 @@ type flowID struct {
 func New(eng *sim.Engine, dev *nic.NIC, cfg Config) *Generator {
 	cfg.fill()
 	g := &Generator{eng: eng, dev: dev, cfg: cfg}
+	// Presize the request table for the expected Poisson count (plus slack
+	// for variance) so the send path never reallocates mid-run.
+	expect := int(cfg.Rate * float64(cfg.Warmup+cfg.Measure) / 1e9)
+	g.reqs = make([]reqInfo, 0, expect+expect/8+64)
 	var sum float64
 	for _, c := range cfg.Classes {
 		sum += c.Weight
@@ -213,18 +217,16 @@ func (g *Generator) send(measured bool) {
 
 	key := uint64(rng.Int64N(int64(g.cfg.KeySpace)))
 	keyHash := uint32(key * 2654435761 % (1 << 31))
-	payload := policy.EncodeHeader(class.Type, class.UserID, keyHash, reqID)
 
 	flow := g.flows[rng.IntN(len(g.flows))]
-	pkt := &nic.Packet{
-		ID:      reqID,
-		SrcIP:   flow.ip,
-		DstIP:   0x0a00ffff,
-		SrcPort: flow.port,
-		DstPort: g.cfg.DstPort,
-		Payload: payload,
-		SentAt:  g.eng.Now(),
-	}
+	pkt := nic.NewPacket()
+	pkt.ID = reqID
+	pkt.SrcIP = flow.ip
+	pkt.DstIP = 0x0a00ffff
+	pkt.SrcPort = flow.port
+	pkt.DstPort = g.cfg.DstPort
+	pkt.Payload = policy.AppendHeader(pkt.HeaderBuf(), class.Type, class.UserID, keyHash, reqID)
+	pkt.SentAt = g.eng.Now()
 	// The packet reaches the NIC one wire delay later.
 	g.eng.CallAfter(g.cfg.Wire, g.rxCB, pkt, 0)
 }

@@ -79,6 +79,13 @@ type HostConfig struct {
 	NumCPUs int
 	// NICQueues is the RX queue count (0 = 1).
 	NICQueues int
+	// Batch is the NAPI-style drain budget: how many ring-resident packets
+	// one softirq event may carry through the datapath (NIC drain, hook
+	// dispatch, SKB stage hops). 0 or 1 selects the per-packet legacy path;
+	// any value preserves per-packet virtual timestamps, so results are
+	// bit-identical across batch sizes — batching only changes wall-clock
+	// cost. Explicit NIC.Budget / Stack.Batch overrides win.
+	Batch int
 	// NIC, Stack, and Kernel override low-level cost models; zero values
 	// take the calibrated defaults.
 	NIC    nic.Config
@@ -145,7 +152,16 @@ func NewHost(cfg HostConfig) *Host {
 	if nicCfg.Queues == 0 {
 		nicCfg.Queues = 1
 	}
-	dev, stack := netstack.Wire(eng, nicCfg, cfg.Stack)
+	stackCfg := cfg.Stack
+	if cfg.Batch > 1 {
+		if nicCfg.Budget == 0 {
+			nicCfg.Budget = cfg.Batch
+		}
+		if stackCfg.Batch == 0 {
+			stackCfg.Batch = cfg.Batch
+		}
+	}
+	dev, stack := netstack.Wire(eng, nicCfg, stackCfg)
 	var machine *kernel.Machine
 	if cfg.NumCPUs > 0 {
 		kcfg := cfg.Kernel

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race lint-hooks trace-check alloc-gates chaos check bench bench-dispatch bench-engine bench-datapath fuzz clean
+.PHONY: build test vet race lint-hooks trace-check alloc-gates chaos cluster-diff check bench bench-cluster bench-dispatch bench-engine bench-datapath fuzz clean
 
 build:
 	$(GO) build ./...
@@ -51,12 +51,28 @@ chaos:
 	$(GO) test -race ./internal/faults/ ./internal/syrupd/
 	$(GO) test -run 'TestChaos' ./internal/experiments/
 
+# Cluster determinism gate (see DESIGN.md "Cluster layer"): the 4-host
+# LS/BE and sharded-MICA scenarios at -workers 1 vs 4 must produce
+# byte-identical per-host and fleet stats digests, and the Maglev/rollout/
+# escalation invariants must hold.
+cluster-diff:
+	$(GO) test ./internal/cluster/ ./internal/par/
+	$(GO) test -run 'TestCluster' ./internal/experiments/
+
 # check is the PR gate: build, vet, lint, race-test the VM + hooks +
-# observability, alloc gates, chaos suite, then the full suite.
-check: build vet lint-hooks race trace-check alloc-gates chaos test
+# observability, alloc gates, chaos suite, cluster determinism gate, then
+# the full suite.
+check: build vet lint-hooks race trace-check alloc-gates chaos cluster-diff test
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Fleet-scale scenario: 32 hosts behind the Maglev L4 LB, >1M flows,
+# token-QoS policy deployed through the control plane's staged rollout.
+# Bit-identical at any -workers value; see ROADMAP.md for reference
+# numbers.
+bench-cluster:
+	$(GO) run ./cmd/syrup-bench -hosts 32
 
 # Interpreter-vs-compiled dispatch margin (see DESIGN.md "JIT & run-state
 # pooling"): the map-heavy shape must hold >=2x and 0 allocs/op compiled.

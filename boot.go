@@ -1,0 +1,26 @@
+package syrup
+
+// NewHostApp builds a host and registers a single application on it — the
+// skeleton every example, the syrupd command, and the experiment harness
+// share: normalize + validate the config, stand the host up, and claim the
+// app's ports through syrupd.
+func NewHostApp(cfg HostConfig, appID, appUID uint32, ports ...uint16) (*Host, *App, error) {
+	host, err := TryNewHost(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	app, err := host.RegisterApp(appID, appUID, ports...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return host, app, nil
+}
+
+// MustHostApp is NewHostApp for demos and tests: it panics on error.
+func MustHostApp(cfg HostConfig, appID, appUID uint32, ports ...uint16) (*Host, *App) {
+	host, app, err := NewHostApp(cfg, appID, appUID, ports...)
+	if err != nil {
+		panic(err)
+	}
+	return host, app
+}

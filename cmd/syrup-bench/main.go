@@ -19,6 +19,15 @@
 //	syrup-bench -faults default -load 150000
 //	syrup-bench -faults 'site=socket-select prob=0.3; site=nic-ring prob=0.01'
 //	syrup-bench -faults @plan.txt -policy scan_avoid
+//
+// With -hosts it runs the fleet-scale scenario instead: N hosts behind the
+// Maglev L4 load balancer, policies deployed through the cluster control
+// plane's staged rollout, per-host and fleet-aggregate stats printed as a
+// table. -workers bounds the simulation worker pool (results are
+// bit-identical at any width):
+//
+//	syrup-bench -hosts 32
+//	syrup-bench -hosts 32 -workers 4 -app mica -flows 2097152
 package main
 
 import (
@@ -32,6 +41,7 @@ import (
 
 	"syrup/internal/experiments"
 	"syrup/internal/faults"
+	"syrup/internal/par"
 )
 
 func main() {
@@ -48,15 +58,21 @@ func main() {
 	polName := flag.String("policy", "round_robin", "socket policy for -breakdown/-trace/-faults (vanilla|round_robin|scan_avoid|sita)")
 	seed := flag.Uint64("seed", 1, "simulation seed for -breakdown/-trace/-faults")
 	batch := flag.Int("batch", 0, "NAPI-style datapath drain budget (0/1 = per-packet; results are bit-identical across batch sizes, only wall-clock changes)")
+	hosts := flag.Int("hosts", 0, "run the fleet-scale cluster scenario on N hosts behind the Maglev L4 LB")
+	workers := flag.Int("workers", 0, "simulation worker-pool size for sweeps and cluster runs (0 = one per CPU; results are bit-identical at any width)")
+	flows := flag.Int("flows", 0, "cluster flow-pool size for -hosts (default 1048576)")
+	lsFrac := flag.Float64("ls-frac", 0, "latency-sensitive load share for -hosts app=rocksdb (default 0.5)")
+	clusterApp := flag.String("app", "rocksdb", "cluster scenario app for -hosts (rocksdb|mica)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: syrup-bench [flags] fig2|fig6|fig7|fig8|fig9a|fig9b|table2|table3|ablation-late|ablation-rfs|all\n")
 		fmt.Fprintf(os.Stderr, "       syrup-bench [-fast] -breakdown|-trace file [-load RPS] [-scan-pct P] [-policy NAME] [-seed N]\n")
 		fmt.Fprintf(os.Stderr, "       syrup-bench [-fast] -faults plan|@file|default [-load RPS] [-scan-pct P] [-policy NAME] [-seed N]\n")
+		fmt.Fprintf(os.Stderr, "       syrup-bench [-fast] -hosts N [-workers W] [-app rocksdb|mica] [-flows F] [-ls-frac P] [-load RPS] [-seed N]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 	traced := *breakdown || *traceOut != ""
-	single := traced || *faultsPlan != ""
+	single := traced || *faultsPlan != "" || *hosts > 0
 	if (flag.NArg() != 1 && !single) || (flag.NArg() != 0 && single) {
 		flag.Usage()
 		os.Exit(2)
@@ -65,12 +81,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "syrup-bench: -faults cannot be combined with -breakdown/-trace\n")
 		os.Exit(2)
 	}
+	if *hosts > 0 && (traced || *faultsPlan != "") {
+		fmt.Fprintf(os.Stderr, "syrup-bench: -hosts cannot be combined with -breakdown/-trace/-faults\n")
+		os.Exit(2)
+	}
 
 	windows := experiments.DefaultWindows
 	if *fast {
 		windows = experiments.FastWindows
 	}
 	experiments.SetBatch(*batch)
+	experiments.SetWorkers(*workers)
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -101,6 +122,31 @@ func main() {
 				os.Exit(1)
 			}
 		}()
+	}
+
+	if *hosts > 0 {
+		cfg := experiments.ClusterConfig{
+			Hosts:   *hosts,
+			Workers: *workers,
+			Seed:    *seed,
+			App:     *clusterApp,
+			Flows:   *flows,
+			LSFrac:  *lsFrac,
+			Windows: windows,
+		}
+		if *load > 0 {
+			cfg.TotalLoad = *load
+		}
+		start := time.Now()
+		run, err := experiments.RunCluster(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cluster: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(run.Format())
+		fmt.Printf("\n[%d-host cluster (%d flows, %d workers) completed in %v]\n",
+			*hosts, totalFlows(run), par.Resolve(*workers), time.Since(start).Round(time.Millisecond))
+		return
 	}
 
 	if *faultsPlan != "" {
@@ -265,6 +311,15 @@ func loadPlan(arg string) (*faults.Plan, error) {
 		text = string(b)
 	}
 	return faults.ParsePlan(text)
+}
+
+// totalFlows sums the members' flow shares.
+func totalFlows(run *experiments.ClusterRun) int {
+	n := 0
+	for _, m := range run.Members {
+		n += m.Flows
+	}
+	return n
 }
 
 // resize picks n approximately evenly spaced entries from loads.

@@ -46,11 +46,7 @@ func main() {
 	if *traceCap > 0 {
 		tracer = syrup.NewTraceRecorder(*traceCap)
 	}
-	host := syrup.NewHost(syrup.HostConfig{Seed: 1, NumCPUs: *threads, NICQueues: *threads, Trace: tracer})
-	app, err := host.RegisterApp(1, 1000, 9000)
-	if err != nil {
-		log.Fatal(err)
-	}
+	host, app := syrup.MustHostApp(syrup.HostConfig{Seed: 1, NumCPUs: *threads, NICQueues: *threads, Trace: tracer}, 1, 1000, 9000)
 
 	// Rolling metrics for the stats op. Registering the latency histogram
 	// lets the stats op derive request_latency_{count,p50_us,p99_us,

@@ -36,11 +36,7 @@ func main() {
 }
 
 func run(mode mica.Mode) (p99, p999, dropFrac float64) {
-	host := syrup.NewHost(syrup.HostConfig{Seed: 7, NumCPUs: threads, NICQueues: threads})
-	app, err := host.RegisterApp(2, 1001, 9100)
-	if err != nil {
-		log.Fatal(err)
-	}
+	host, app := syrup.MustHostApp(syrup.HostConfig{Seed: 7, NumCPUs: threads, NICQueues: threads}, 2, 1001, 9100)
 	gen := workload.New(host.Eng, host.NIC, workload.Config{
 		Rate:    load,
 		DstPort: 9100,

@@ -41,11 +41,7 @@ pass:
 `
 
 func main() {
-	host := syrup.NewHost(syrup.HostConfig{Seed: 1, NICQueues: 2})
-	app, err := host.RegisterApp(1, 1000, 9000)
-	if err != nil {
-		log.Fatal(err)
-	}
+	host, app := syrup.MustHostApp(syrup.HostConfig{Seed: 1, NICQueues: 2}, 1, 1000, 9000)
 
 	// Three worker sockets in the port's reuseport group. The index each
 	// registration returns is the executor id the policy's verdict picks.

@@ -42,11 +42,7 @@ func main() {
 }
 
 func run(policyName string) (p50, p99, dropFrac float64) {
-	host := syrup.NewHost(syrup.HostConfig{Seed: 42, NumCPUs: 6, NICQueues: 6})
-	app, err := host.RegisterApp(1, 1000, 9000)
-	if err != nil {
-		log.Fatal(err)
-	}
+	host, app := syrup.MustHostApp(syrup.HostConfig{Seed: 42, NumCPUs: 6, NICQueues: 6}, 1, 1000, 9000)
 	gen := workload.New(host.Eng, host.NIC, workload.Config{
 		Rate:    load,
 		DstPort: 9000,

@@ -35,11 +35,7 @@ func main() {
 
 func run(lsLoad, beLoad float64) (lsP99, lsDrop, beTput, beDrop float64) {
 	total := lsLoad + beLoad
-	host := syrup.NewHost(syrup.HostConfig{Seed: 3, NumCPUs: 6, NICQueues: 6})
-	app, err := host.RegisterApp(1, 1000, 9000)
-	if err != nil {
-		log.Fatal(err)
-	}
+	host, app := syrup.MustHostApp(syrup.HostConfig{Seed: 3, NumCPUs: 6, NICQueues: 6}, 1, 1000, 9000)
 	gen := workload.New(host.Eng, host.NIC, workload.Config{
 		Rate:    total,
 		DstPort: 9000,

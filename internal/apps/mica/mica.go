@@ -85,6 +85,17 @@ type Config struct {
 	NumThreads int
 	Mode       Mode
 
+	// Shard/NumShards place this server in a keyspace partitioned across
+	// a cluster: it owns exactly the keys with policy.KeyShardOf(hash,
+	// NumShards) == Shard, and KeySpace is this shard's share (total
+	// keyspace / NumShards). A request for a foreign key — mis-steered by
+	// the cluster layer — is counted in Foreign and dropped without
+	// touching any partition, preserving EREW ownership across hosts just
+	// as it holds across cores. NumShards <= 1 means an unsharded
+	// (single-host) deployment.
+	Shard     int
+	NumShards int
+
 	// Cost model (defaults from DESIGN.md calibration).
 	PollCost    sim.Time // per-request rx/poll cost (0.25 µs)
 	OpGetCost   sim.Time // GET processing incl. tx (2.1 µs)
@@ -122,6 +133,12 @@ func (c *Config) fill() {
 	}
 	if c.KeySpace == 0 {
 		c.KeySpace = 1 << 20
+		if c.NumShards > 1 {
+			c.KeySpace /= c.NumShards
+		}
+	}
+	if c.NumShards > 1 && (c.Shard < 0 || c.Shard >= c.NumShards) {
+		panic(fmt.Sprintf("mica: Shard %d outside [0,%d)", c.Shard, c.NumShards))
 	}
 }
 
@@ -142,6 +159,7 @@ type Server struct {
 	// Stats.
 	Forwarded uint64 // requests that crossed the ring
 	Local     uint64 // requests served by their receiving thread
+	Foreign   uint64 // requests for keys another cluster shard owns (dropped)
 }
 
 // NewServer builds the server and registers its AF_XDP sockets in the
@@ -283,6 +301,15 @@ func (s *Server) workerLoop(th *kernel.Thread, me int) {
 func (s *Server) serve(w *worker, pkt *nic.Packet, fromRing bool) {
 	reqType, _, keyHash, reqID, ok := policy.DecodeHeader(pkt.Payload)
 	if !ok {
+		pkt.Free()
+		w.loop()
+		return
+	}
+	if s.cfg.NumShards > 1 && policy.KeyShardOf(keyHash, s.cfg.NumShards) != s.cfg.Shard {
+		// Mis-steered by the cluster layer: this host does not own the
+		// key. Dropping (never completing) charges the miss to whoever
+		// steered the flow, and keeps cross-host EREW intact.
+		s.Foreign++
 		pkt.Free()
 		w.loop()
 		return

@@ -1,0 +1,171 @@
+package cluster
+
+import (
+	"fmt"
+
+	"syrup"
+	"syrup/internal/par"
+	"syrup/internal/workload"
+)
+
+// Config describes a cluster.
+type Config struct {
+	// Hosts is the member count.
+	Hosts int
+	// Seed drives every cluster-level decision (member seeds, the Maglev
+	// table, flow pools, canary selection). Zero means seed 1.
+	Seed uint64
+	// TableSize is the Maglev lookup-table size (prime; default 65537).
+	TableSize int
+	// Host is the per-member template. Seed, HostID, and Name are derived
+	// per member; everything else is shared.
+	Host syrup.HostConfig
+	// Tune, when set, adjusts member i's derived config before the host
+	// is built — the seam for per-member fault plans, tracers, or
+	// asymmetric hardware.
+	Tune func(i int, cfg *syrup.HostConfig)
+}
+
+// Member is one host in the cluster.
+type Member struct {
+	Index int
+	Name  string
+	Seed  uint64
+	Host  *syrup.Host
+}
+
+// Cluster owns N independent simulated hosts behind the Maglev L4 LB.
+// Hosts never share simulation state; they may run concurrently.
+type Cluster struct {
+	cfg     Config
+	Table   *Table
+	Members []*Member
+	// released remembers the last fleet-wide release per (app, hook) so an
+	// aborted canary stage can restore it.
+	released map[releaseKey]release
+}
+
+// MemberSeed derives member i's host seed from the cluster seed: distinct,
+// deterministic, and never zero (zero would alias the "default seed"
+// path).
+func MemberSeed(clusterSeed uint64, i int) uint64 {
+	s := splitmix64(clusterSeed ^ splitmix64(uint64(i)+0x636c7573746572)) // "cluster"
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
+
+// MemberName names member i ("host-07"); the Maglev backend identity.
+func MemberName(i int) string { return fmt.Sprintf("host-%02d", i) }
+
+// New builds the cluster: the Maglev table over member names, then every
+// member host with its derived seed and identity. Construction is
+// sequential (each host's setup consumes only its own PRNG, so order is
+// irrelevant to determinism but keeps Tune callbacks simple).
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Hosts <= 0 {
+		return nil, fmt.Errorf("cluster: Hosts must be positive, got %d", cfg.Hosts)
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.TableSize == 0 {
+		cfg.TableSize = DefaultTableSize
+	}
+	names := make([]string, cfg.Hosts)
+	for i := range names {
+		names[i] = MemberName(i)
+	}
+	table, err := NewTable(names, cfg.TableSize, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{cfg: cfg, Table: table, released: make(map[releaseKey]release)}
+	for i := 0; i < cfg.Hosts; i++ {
+		hcfg := cfg.Host
+		hcfg.Seed = MemberSeed(cfg.Seed, i)
+		hcfg.HostID = i
+		hcfg.Name = names[i]
+		if cfg.Tune != nil {
+			cfg.Tune(i, &hcfg)
+		}
+		host, err := syrup.TryNewHost(hcfg)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: member %d: %w", i, err)
+		}
+		c.Members = append(c.Members, &Member{Index: i, Name: names[i], Seed: hcfg.Seed, Host: host})
+	}
+	return c, nil
+}
+
+// Seed reports the cluster seed.
+func (c *Cluster) Seed() uint64 { return c.cfg.Seed }
+
+// Hosts reports the member count.
+func (c *Cluster) Hosts() int { return len(c.Members) }
+
+// Steer is the L4 load balancer: flow hash -> member index via the Maglev
+// table. Every packet of a flow lands on the same host.
+func (c *Cluster) Steer(flowHash uint32) int { return c.Table.Lookup(flowHash) }
+
+// RunAll runs fn for every member on a worker pool of the given size
+// (workers <= 0 = one per CPU). Members are independent simulations and
+// results must be stored by member index, so output is bit-identical at
+// any worker count.
+func (c *Cluster) RunAll(workers int, fn func(m *Member)) {
+	par.Do(len(c.Members), workers, func(i int) { fn(c.Members[i]) })
+}
+
+// Split is the cluster workload splitter: it draws base.Flows
+// cluster-addressable flows from the cluster seed (never from any host's
+// PRNG), steers each through the Maglev table, and returns one per-member
+// workload config holding that member's flow share with the offered rate
+// scaled by pool share. Rates sum to base.Rate; flow sets partition the
+// pool.
+func (c *Cluster) Split(base workload.Config) []workload.Config {
+	pool := c.DrawFlows(base.Flows)
+	shares := make([][]workload.Flow, len(c.Members))
+	for _, f := range pool {
+		h := c.Steer(f.Hash())
+		shares[h] = append(shares[h], f)
+	}
+	out := make([]workload.Config, len(c.Members))
+	for i := range out {
+		cfg := base
+		cfg.FlowSet = shares[i]
+		cfg.Flows = len(shares[i])
+		cfg.Rate = base.Rate * float64(len(shares[i])) / float64(len(pool))
+		out[i] = cfg
+	}
+	return out
+}
+
+// DrawFlows draws n distinct flows from the cluster seed's dedicated
+// stream (the same construction as workload's host-local pool, lifted to
+// cluster scope).
+func (c *Cluster) DrawFlows(n int) []workload.Flow {
+	if n <= 0 {
+		n = 1024
+	}
+	state := splitmix64(c.cfg.Seed ^ 0x666c6f7773) // "flows"
+	next := func() uint64 {
+		state = splitmix64(state)
+		return state
+	}
+	seen := make(map[workload.Flow]bool, n)
+	flows := make([]workload.Flow, 0, n)
+	for len(flows) < n {
+		r := next()
+		f := workload.Flow{
+			IP:   0x0a000000 + uint32(r&0xffff),
+			Port: uint16(1024 + (r>>16)%60000),
+		}
+		if seen[f] {
+			continue
+		}
+		seen[f] = true
+		flows = append(flows, f)
+	}
+	return flows
+}

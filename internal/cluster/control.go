@@ -1,0 +1,329 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"syrup"
+	"syrup/internal/nic"
+	"syrup/internal/policy"
+	"syrup/internal/sim"
+)
+
+// releaseKey identifies a fleet release target.
+type releaseKey struct {
+	app  uint32
+	hook syrup.Hook
+}
+
+// release is a deployable artifact the control plane can restore.
+type release struct {
+	source  string
+	defines map[string]int64
+}
+
+// RolloutConfig describes one staged fleet rollout.
+type RolloutConfig struct {
+	// App is the target application id; it must already be registered on
+	// every member (app registration is topology, not policy — the
+	// scenario builder owns it).
+	App uint32
+	// Hook is the deployment point. Thread policies (HookThreadSched) are
+	// userspace code, not .syr artifacts, and do not roll out this way.
+	Hook syrup.Hook
+	// Policy names a built-in policy; Source provides raw .syr text
+	// instead. Exactly one must be set.
+	Policy string
+	Source string
+	// Defines are deploy-time constants.
+	Defines map[string]int64
+	// Canaries is the stage-1 host count (default ceil(Hosts/8), min 1).
+	Canaries int
+	// Bake is the virtual time each canary runs before health evaluation
+	// (default 2ms).
+	Bake sim.Time
+	// Probes is the number of synthetic probe requests injected into each
+	// canary during the bake, spread across the window (default 32): a
+	// policy must execute to fault, so the bake sends traffic through it.
+	Probes int
+	// FaultBudget is the maximum total hook faults the canaries may
+	// accumulate during the bake before the rollout aborts (default 0 —
+	// any canary fault aborts).
+	FaultBudget uint64
+}
+
+// RolloutReport is the control plane's record of one rollout.
+type RolloutReport struct {
+	// Canaries lists the stage-1 member indices in deployment order.
+	Canaries []int
+	// CanaryFaults is the total hook faults the canaries accumulated
+	// during the bake.
+	CanaryFaults uint64
+	// Aborted reports a failed canary stage; Reason says why. RolledBack
+	// is true when the canaries were restored to the previous release
+	// (false: detached to the kernel default — there was nothing to
+	// restore).
+	Aborted    bool
+	Reason     string
+	RolledBack bool
+	// Deployed counts members running the new policy after the rollout.
+	Deployed int
+}
+
+func (r *RolloutReport) String() string {
+	if r.Aborted {
+		return fmt.Sprintf("rollout ABORTED after canary stage %v: %s (faults=%d, rolled back=%v)",
+			r.Canaries, r.Reason, r.CanaryFaults, r.RolledBack)
+	}
+	return fmt.Sprintf("rollout ok: canaries %v baked clean (faults=%d), deployed to %d hosts",
+		r.Canaries, r.CanaryFaults, r.Deployed)
+}
+
+func (cfg *RolloutConfig) fill(hosts int) error {
+	if (cfg.Policy == "") == (cfg.Source == "") {
+		return fmt.Errorf("cluster: rollout needs exactly one of Policy or Source")
+	}
+	if cfg.Hook == syrup.HookThreadSched {
+		return fmt.Errorf("cluster: thread policies are userspace code and do not roll out as .syr artifacts")
+	}
+	if cfg.Canaries <= 0 {
+		cfg.Canaries = (hosts + 7) / 8
+	}
+	if cfg.Canaries > hosts {
+		cfg.Canaries = hosts
+	}
+	if cfg.Bake == 0 {
+		cfg.Bake = 2 * sim.Millisecond
+	}
+	if cfg.Probes == 0 {
+		cfg.Probes = 32
+	}
+	return nil
+}
+
+// CanaryOrder derives the rollout order: a seeded Fisher-Yates
+// permutation of member indices, so canary choice is deterministic per
+// cluster seed but not biased toward low indices.
+func (c *Cluster) CanaryOrder() []int {
+	order := make([]int, len(c.Members))
+	for i := range order {
+		order[i] = i
+	}
+	state := splitmix64(c.cfg.Seed ^ 0x63616e617279) // "canary"
+	for i := len(order) - 1; i > 0; i-- {
+		state = splitmix64(state)
+		j := int(state % uint64(i+1))
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}
+
+// Rollout deploys a policy across the fleet in two stages: deploy to a
+// canary subset, bake it under probe traffic, evaluate the canaries'
+// hook-fault counters, and only then deploy to the rest. A canary stage
+// that exceeds the fault budget aborts the rollout and restores the
+// canaries to the previous fleet release (or detaches them to the kernel
+// default when none exists). A successful rollout records the artifact as
+// the new fleet release.
+func (c *Cluster) Rollout(cfg RolloutConfig) (*RolloutReport, error) {
+	if err := cfg.fill(len(c.Members)); err != nil {
+		return nil, err
+	}
+	source := cfg.Source
+	if cfg.Policy != "" {
+		var err error
+		source, err = policy.Source(cfg.Policy)
+		if err != nil {
+			return nil, err
+		}
+	}
+	order := c.CanaryOrder()
+	canaries := append([]int(nil), order[:cfg.Canaries]...)
+	rep := &RolloutReport{Canaries: canaries}
+
+	deploy := func(idx int) error {
+		m := c.Members[idx]
+		if _, err := m.Host.Daemon.DeployPolicy(cfg.App, cfg.Hook, source, cfg.Defines); err != nil {
+			return fmt.Errorf("cluster: %s: %w", m.Name, err)
+		}
+		return nil
+	}
+
+	// Stage 1: canaries.
+	for _, idx := range canaries {
+		if err := deploy(idx); err != nil {
+			return nil, err
+		}
+	}
+	before := make([]uint64, len(canaries))
+	for i, idx := range canaries {
+		before[i] = c.hookFaults(idx, cfg.App, cfg.Hook)
+	}
+	for _, idx := range canaries {
+		c.bake(c.Members[idx], cfg)
+	}
+	for i, idx := range canaries {
+		rep.CanaryFaults += c.hookFaults(idx, cfg.App, cfg.Hook) - before[i]
+	}
+
+	key := releaseKey{cfg.App, cfg.Hook}
+	if rep.CanaryFaults > cfg.FaultBudget {
+		rep.Aborted = true
+		rep.Reason = fmt.Sprintf("canary faults %d exceed budget %d", rep.CanaryFaults, cfg.FaultBudget)
+		prev, havePrev := c.released[key]
+		for _, idx := range canaries {
+			m := c.Members[idx]
+			if havePrev {
+				if _, err := m.Host.Daemon.DeployPolicy(cfg.App, cfg.Hook, prev.source, prev.defines); err != nil {
+					return nil, fmt.Errorf("cluster: restore %s: %w", m.Name, err)
+				}
+			} else if err := m.Host.Daemon.DetachApp(cfg.App, cfg.Hook); err != nil {
+				return nil, fmt.Errorf("cluster: detach %s: %w", m.Name, err)
+			}
+		}
+		rep.RolledBack = havePrev
+		return rep, nil
+	}
+
+	// Stage 2: the rest of the fleet, in canary order for determinism.
+	for _, idx := range order[cfg.Canaries:] {
+		if err := deploy(idx); err != nil {
+			return nil, err
+		}
+	}
+	rep.Deployed = len(c.Members)
+	c.released[key] = release{source: source, defines: cfg.Defines}
+	return rep, nil
+}
+
+// hookFaults sums the app's per-deployment fault counters at hk on member
+// idx.
+func (c *Cluster) hookFaults(idx int, app uint32, hk syrup.Hook) uint64 {
+	var n uint64
+	for _, l := range c.Members[idx].Host.Daemon.Links() {
+		if l.App == app && l.Hook == string(hk) {
+			n += l.Faults
+		}
+	}
+	return n
+}
+
+// bake advances one canary by the bake window while feeding it probe
+// requests: Probes GET packets spread across the window, addressed to the
+// app's first claimed port from a dedicated probe flow. Probe request ids
+// live far above any workload id (2^62+) so completion callbacks ignore
+// them, and each member's probes ride its own engine — baking never
+// couples hosts.
+func (c *Cluster) bake(m *Member, cfg RolloutConfig) {
+	app := m.Host.Daemon.App(cfg.App)
+	if app == nil || len(app.Ports) == 0 || cfg.Probes <= 0 {
+		m.Host.RunFor(cfg.Bake)
+		return
+	}
+	port := app.Ports[0]
+	gap := cfg.Bake / sim.Time(cfg.Probes+1)
+	if gap < 1 {
+		gap = 1
+	}
+	for i := 0; i < cfg.Probes; i++ {
+		pkt := nic.NewPacket()
+		pkt.ID = probeIDBase + uint64(i)
+		pkt.SrcIP = 0x0afe0000 + uint32(m.Index)
+		pkt.DstIP = 0x0a00ffff
+		pkt.SrcPort = uint16(1024 + i)
+		pkt.DstPort = port
+		pkt.Payload = policy.AppendHeader(pkt.HeaderBuf(), policy.ReqGET, 0, uint32(splitmix64(uint64(i))), probeIDBase+uint64(i))
+		pkt.SentAt = m.Host.Now() + sim.Time(i+1)*gap
+		deliverAt(m.Host, pkt)
+	}
+	m.Host.RunFor(cfg.Bake)
+}
+
+// probeIDBase keeps probe request ids out of every workload generator's
+// id space (generators index requests densely from 0).
+const probeIDBase = uint64(1) << 62
+
+// deliverAt schedules a probe packet's NIC arrival at pkt.SentAt.
+func deliverAt(h *syrup.Host, pkt *nic.Packet) {
+	h.Eng.At(pkt.SentAt, func() { h.NIC.Receive(pkt) })
+}
+
+// FleetQuarantine records one escalation decision.
+type FleetQuarantine struct {
+	App  uint32
+	Hook syrup.Hook
+	// Local is how many hosts had quarantined the (app, hook) on their
+	// own; Escalated is how many more the control plane pulled it from.
+	Local     int
+	Escalated int
+}
+
+// EscalateQuarantines is the fleet-wide arm of the PR-5 watchdog: scan
+// every member's syrupd for locally quarantined (app, hook) pairs and,
+// when at least minFrac of the fleet has quarantined the same pair,
+// quarantine it on every remaining host too — a policy that faults on
+// enough of the fleet is pulled everywhere before the long tail of hosts
+// burns hook cost discovering it independently. Results are ordered by
+// (app, hook) for determinism.
+func (c *Cluster) EscalateQuarantines(minFrac float64) []FleetQuarantine {
+	if minFrac <= 0 {
+		minFrac = 0.25
+	}
+	counts := c.quarantinedHostCounts()
+	keys := make([]releaseKey, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].app != keys[j].app {
+			return keys[i].app < keys[j].app
+		}
+		return keys[i].hook < keys[j].hook
+	})
+	need := int(math.Ceil(minFrac * float64(len(c.Members))))
+	if need < 1 {
+		need = 1
+	}
+	var out []FleetQuarantine
+	for _, k := range keys {
+		local := counts[k]
+		if local < need {
+			continue
+		}
+		fq := FleetQuarantine{App: k.app, Hook: k.hook, Local: local}
+		for _, m := range c.Members {
+			d := m.Host.Daemon
+			if d.App(k.app) == nil || d.Quarantined(k.app, k.hook) {
+				continue
+			}
+			if err := d.Quarantine(k.app, k.hook); err == nil {
+				fq.Escalated++
+			}
+		}
+		out = append(out, fq)
+	}
+	return out
+}
+
+// quarantinedHostCounts counts, per (app, hook), how many member hosts
+// have it locally quarantined (Links() reports one entry per deployment,
+// so counts are deduped to per-host).
+func (c *Cluster) quarantinedHostCounts() map[releaseKey]int {
+	counts := make(map[releaseKey]int)
+	for _, m := range c.Members {
+		seen := make(map[releaseKey]bool)
+		for _, l := range m.Host.Daemon.Links() {
+			if !l.Quarantined {
+				continue
+			}
+			k := releaseKey{l.App, syrup.Hook(l.Hook)}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			counts[k]++
+		}
+	}
+	return counts
+}

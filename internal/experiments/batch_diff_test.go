@@ -3,11 +3,9 @@ package experiments
 import (
 	"fmt"
 	"sort"
-	"strings"
 	"testing"
 
 	"syrup/internal/apps/mica"
-	"syrup/internal/metrics"
 	"syrup/internal/policy"
 	"syrup/internal/trace"
 	"syrup/internal/workload"
@@ -21,37 +19,9 @@ var diffWindows = Windows{
 	Drain:   60 * 1e6,
 }
 
-// statsDigest renders every client-observable statistic of a run — exact
-// counters, drop causes, and the full latency distribution shape — so two
-// digests match only if the runs were statistically indistinguishable.
-func statsDigest(r *workload.Result) string {
-	var b strings.Builder
-	writeStats := func(name string, st *metrics.RunStats) {
-		fmt.Fprintf(&b, "%s offered=%d completed=%d window=%d", name, st.Offered, st.Completed, st.WindowNanos)
-		causes := make([]string, 0, len(st.Drops))
-		for c := range st.Drops {
-			causes = append(causes, string(c))
-		}
-		sort.Strings(causes)
-		for _, c := range causes {
-			fmt.Fprintf(&b, " %s=%d", c, st.Drops[metrics.DropCause(c)])
-		}
-		h := st.Latency
-		fmt.Fprintf(&b, " n=%d mean=%v min=%d max=%d p50=%d p90=%d p99=%d p999=%d\n",
-			h.Count(), h.Mean(), h.Min(), h.Max(),
-			h.Percentile(50), h.Percentile(90), h.Percentile(99), h.Percentile(99.9))
-	}
-	writeStats("all", r.All)
-	names := make([]string, 0, len(r.PerClass))
-	for n := range r.PerClass {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	for _, n := range names {
-		writeStats(n, r.PerClass[n])
-	}
-	return b.String()
-}
+// statsDigest is the exported StatsDigest (result.go); the batch gates
+// predate the export and keep the short name.
+var statsDigest = StatsDigest
 
 // withBatch runs fn at each requested batch size, restoring the legacy
 // datapath afterwards, and asserts every digest matches the batch=1 one.

@@ -50,16 +50,12 @@ func runMicaPoint(pt micaPoint) *workload.Result {
 	if pt.Windows == (Windows{}) {
 		pt.Windows = DefaultWindows
 	}
-	host := syrup.NewHost(syrup.HostConfig{
+	host, app := syrup.MustHostApp(syrup.HostConfig{
 		Seed:      pt.Seed,
 		NumCPUs:   micaN,
 		NICQueues: micaN,
 		Batch:     batchSize,
-	})
-	app, err := host.RegisterApp(micaApp, micaUID, micaPort)
-	if err != nil {
-		panic(err)
-	}
+	}, micaApp, micaUID, micaPort)
 	gen := workload.New(host.Eng, host.NIC, workload.Config{
 		Rate:    pt.Load,
 		DstPort: micaPort,

@@ -128,7 +128,7 @@ func runRocksPointFull(pt rocksPoint) (*workload.Result, *rocksdb.Server, *syrup
 	if pt.Windows == (Windows{}) {
 		pt.Windows = DefaultWindows
 	}
-	host := syrup.NewHost(syrup.HostConfig{
+	host, app := syrup.MustHostApp(syrup.HostConfig{
 		Seed:       pt.Seed,
 		NumCPUs:    pt.NumCPUs,
 		NICQueues:  pt.NumCPUs, // one RX queue per core, IRQs on buddies (§5.1.1)
@@ -136,11 +136,7 @@ func runRocksPointFull(pt rocksPoint) (*workload.Result, *rocksdb.Server, *syrup
 		Trace:      pt.Tracer,
 		Faults:     pt.Faults,
 		Quarantine: pt.Quarantine,
-	})
-	app, err := host.RegisterApp(rocksApp, rocksUID, rocksPort)
-	if err != nil {
-		panic(err)
-	}
+	}, rocksApp, rocksUID, rocksPort)
 
 	gen := workload.New(host.Eng, host.NIC, workload.Config{
 		Rate:    pt.Load,

@@ -9,10 +9,12 @@ package experiments
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
 	"strings"
-	"sync"
+
+	"syrup/internal/metrics"
+	"syrup/internal/par"
+	"syrup/internal/workload"
 )
 
 // Row is one data point in a series: an x value (offered load) plus named
@@ -102,23 +104,57 @@ func (r *Result) Col(series string, x float64, col string) float64 {
 	return v
 }
 
-// parallelDo runs fn(0..n-1) across at most NumCPU workers and waits for
+// poolWorkers is the fan-out width for every experiment sweep and the
+// cluster runner (0 = one worker per CPU). Set via SetWorkers (the
+// syrup-bench -workers flag). Results are bit-identical at any width:
+// every simulation owns private state and all aggregation is
+// index-addressed.
+var poolWorkers int
+
+// SetWorkers sets the worker-pool size for subsequent sweeps.
+func SetWorkers(n int) { poolWorkers = n }
+
+// Workers reports the configured worker-pool size (0 = one per CPU).
+func Workers() int { return poolWorkers }
+
+// parallelDo runs fn(0..n-1) on the configured worker pool and waits for
 // all of them. Results are communicated through index-addressed slices, so
 // aggregation order is deterministic regardless of completion order.
 func parallelDo(n int, fn func(i int)) {
-	sem := make(chan struct{}, runtime.NumCPU())
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		i := i
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			fn(i)
-		}()
+	par.Do(n, poolWorkers, fn)
+}
+
+// StatsDigest renders every client-observable statistic of a run — exact
+// counters, drop causes, and the full latency distribution shape — so two
+// digests match only if the runs were statistically indistinguishable.
+// The batch and worker-count differential gates diff these.
+func StatsDigest(r *workload.Result) string {
+	var b strings.Builder
+	writeStats := func(name string, st *metrics.RunStats) {
+		fmt.Fprintf(&b, "%s offered=%d completed=%d window=%d", name, st.Offered, st.Completed, st.WindowNanos)
+		causes := make([]string, 0, len(st.Drops))
+		for c := range st.Drops {
+			causes = append(causes, string(c))
+		}
+		sort.Strings(causes)
+		for _, c := range causes {
+			fmt.Fprintf(&b, " %s=%d", c, st.Drops[metrics.DropCause(c)])
+		}
+		h := st.Latency
+		fmt.Fprintf(&b, " n=%d mean=%v min=%d max=%d p50=%d p90=%d p99=%d p999=%d\n",
+			h.Count(), h.Mean(), h.Min(), h.Max(),
+			h.Percentile(50), h.Percentile(90), h.Percentile(99), h.Percentile(99.9))
 	}
-	wg.Wait()
+	writeStats("all", r.All)
+	names := make([]string, 0, len(r.PerClass))
+	for n := range r.PerClass {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		writeStats(n, r.PerClass[n])
+	}
+	return b.String()
 }
 
 // sweep evaluates fn at every load in parallel (each point owns a private

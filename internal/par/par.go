@@ -1,0 +1,50 @@
+// Package par is the deterministic worker pool shared by the experiment
+// fan-outs and the cluster layer. Work items are addressed by index and
+// results must flow through index-addressed slots, so the aggregate output
+// is bit-identical at any worker count — parallelism only changes
+// wall-clock time, never what a run computes.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Resolve maps a configured worker count to the effective one: values <= 0
+// select one worker per CPU.
+func Resolve(workers int) int {
+	if workers <= 0 {
+		return runtime.NumCPU()
+	}
+	return workers
+}
+
+// Do runs fn(0..n-1) across at most workers goroutines and waits for all
+// of them. workers <= 0 selects one worker per CPU. fn must communicate
+// results through index-addressed storage; completion order is
+// unspecified.
+func Do(n, workers int, fn func(i int)) {
+	workers = Resolve(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			fn(i)
+		}()
+	}
+	wg.Wait()
+}

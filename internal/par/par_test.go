@@ -1,0 +1,41 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestDoRunsEveryIndexOnce: each index fires exactly once at any worker
+// count, including the sequential workers=1 fast path.
+func TestDoRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		const n = 100
+		var hits [n]int32
+		Do(n, workers, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+// TestDoIndexAddressedDeterminism: index-addressed aggregation yields the
+// same output at every worker count.
+func TestDoIndexAddressedDeterminism(t *testing.T) {
+	run := func(workers int) [64]int {
+		var out [64]int
+		Do(64, workers, func(i int) { out[i] = i * i })
+		return out
+	}
+	ref := run(1)
+	for _, workers := range []int{2, 4, 16} {
+		if run(workers) != ref {
+			t.Fatalf("output diverged at workers=%d", workers)
+		}
+	}
+}
+
+func TestDoZeroItems(t *testing.T) {
+	Do(0, 4, func(int) { t.Fatal("fn called for n=0") })
+}

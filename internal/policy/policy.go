@@ -86,6 +86,19 @@ func AppendHeader(b []byte, reqType uint64, userID, keyHash uint32, reqID uint64
 	return b
 }
 
+// KeyShardOf maps a request key hash to its cluster shard: the host that
+// owns the key when a keyspace is partitioned across shards hosts. It
+// reads the hash's high bits so it is independent of the low-bit
+// within-host steering (keyHash % NUM_EXECUTORS in mica_hash) — a shard's
+// keys still spread uniformly over a host's threads. Shard-aware clients
+// (workload) and the sharded MICA server use this exact function.
+func KeyShardOf(keyHash uint32, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	return int(keyHash>>16) % shards
+}
+
 // DecodeHeader parses a payload header; ok=false if truncated.
 func DecodeHeader(b []byte) (reqType uint64, userID, keyHash uint32, reqID uint64, ok bool) {
 	if len(b) < HeaderSize {

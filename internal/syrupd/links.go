@@ -160,6 +160,24 @@ func (d *Daemon) Links() []LinkInfo {
 	return out
 }
 
+// DetachApp detaches the app's deployments at one hook only, leaving
+// maps, other hooks, and the ghOSt agent untouched: the layer falls back
+// to its kernel default and the app may redeploy immediately (unlike
+// Quarantine, nothing is barred). The cluster control plane uses this to
+// roll an aborted canary deployment back when no previous release exists.
+func (d *Daemon) DetachApp(id uint32, hk Hook) error {
+	app, ok := d.apps[id]
+	if !ok {
+		return fmt.Errorf("syrupd: unknown app %d", id)
+	}
+	for _, al := range app.links {
+		if al.Hook == hk {
+			al.detach()
+		}
+	}
+	return nil
+}
+
 // RevokeApp tears down every one of the app's deployments across all
 // layers: direct links detach (the layer falls back to its default —
 // hash reuseport, LBA striping, an idle enclave) and dispatcher slots

@@ -101,26 +101,58 @@ func (w *watchdog) scan() {
 // quarantine detaches every one of the app's deployments at the
 // offending hook and bars redeploys there.
 func (w *watchdog) quarantine(app *App, al *AppLink, faultsInWindow uint64) {
+	w.d.quarantineHook(app, al.Hook, al.Target, al.Label(), faultsInWindow)
+	w.Quarantines++
+}
+
+// quarantineHook is the shared quarantine path: detach every deployment at
+// hk, bar redeploys, count, and mark the trace. The watchdog reaches it
+// when a fault window trips; the cluster control plane reaches it through
+// Quarantine when it escalates a fleet-wide decision.
+func (d *Daemon) quarantineHook(app *App, hk Hook, target, label string, faultsInWindow uint64) {
 	for _, l := range app.links {
-		if l.Hook == al.Hook {
+		if l.Hook == hk {
 			l.detach()
 		}
 	}
-	app.quarantined[al.Hook] = true
-	w.Quarantines++
+	app.quarantined[hk] = true
 	quarantinesTotal.Inc()
-	if w.d.tracer.Enabled() {
+	if d.tracer.Enabled() {
 		// Error-tagged instant span: the operator's trace shows exactly
 		// when and where the policy was pulled (Executor carries the
 		// window's fault count).
-		now := w.d.eng.Now()
-		w.d.tracer.Record(trace.Span{
+		now := d.eng.Now()
+		d.tracer.Record(trace.Span{
 			Start: now, End: now, Stage: trace.StageHook,
-			Hook: al.Target, Policy: al.Label(),
+			Hook: target, Policy: label,
 			Verdict: trace.VerdictFault, Err: true, Instant: true,
 			Executor: uint32(faultsInWindow),
 		})
 	}
+}
+
+// Quarantine force-detaches the app's deployments at hk and bars
+// redeploys, exactly as if the watchdog had tripped — the cluster control
+// plane's escalation entry point (a policy quarantined on enough of the
+// fleet is pulled everywhere, not just where it happened to fault).
+// Quarantining an already-quarantined hook is a no-op.
+func (d *Daemon) Quarantine(appID uint32, hk Hook) error {
+	app, ok := d.apps[appID]
+	if !ok {
+		return fmt.Errorf("syrupd: unknown app %d", appID)
+	}
+	if app.quarantined[hk] {
+		return nil
+	}
+	target, label := string(hk), ""
+	for _, al := range app.links {
+		if al.Hook == hk {
+			target, label = al.Target, al.Label()
+			break
+		}
+	}
+	d.quarantineHook(app, hk, target, label, 0)
+	return nil
 }
 
 // Quarantined reports whether the app is quarantined at hk.

@@ -26,6 +26,30 @@ type Class struct {
 	UserID uint32
 }
 
+// Flow is one client 5-tuple endpoint, addressable at cluster scope: the
+// L4 load balancer steers a flow to a host by Hash, so a flow's packets
+// always land on the same backend.
+type Flow struct {
+	IP   uint32
+	Port uint16
+}
+
+// Hash is the flow's steering hash: FNV-1a over the six identifying bytes
+// (the same construction as the NIC's RSS hash, minus the fixed server
+// side). The cluster LB's Maglev table and any test reasoning about
+// placement must use this exact function.
+func (f Flow) Hash() uint32 {
+	h := uint32(2166136261)
+	for _, b := range [...]byte{
+		byte(f.IP >> 24), byte(f.IP >> 16), byte(f.IP >> 8), byte(f.IP),
+		byte(f.Port >> 8), byte(f.Port),
+	} {
+		h ^= uint32(b)
+		h *= 16777619
+	}
+	return h
+}
+
 // Config describes one load point.
 type Config struct {
 	// Rate is offered load in requests/second across all classes.
@@ -35,6 +59,19 @@ type Config struct {
 	// Flows is the 5-tuple pool size (50 in Fig. 2); arrivals pick a flow
 	// uniformly at random.
 	Flows int
+	// FlowSet pins the 5-tuple pool explicitly instead of drawing Flows
+	// random ones from the host PRNG. The cluster layer splits one
+	// fleet-wide pool across hosts by LB steering and hands each host its
+	// share here, so arrivals are cluster-addressable flows rather than
+	// host-local inventions.
+	FlowSet []Flow
+	// KeyShard/KeyShards restrict generated keys to one cluster shard:
+	// keys are drawn until policy.KeyShardOf(keyHash, KeyShards) ==
+	// KeyShard. This models shard-aware clients (MICA's design carried to
+	// cluster scope: the client computes the key hash and addresses the
+	// owning host directly). KeyShards <= 1 disables sharding.
+	KeyShard  int
+	KeyShards int
 	// DstPort is the server port.
 	DstPort uint16
 	// Wire is the one-way client↔server latency (5 µs).
@@ -51,6 +88,9 @@ type Config struct {
 }
 
 func (c *Config) fill() {
+	if c.KeyShards > 1 && (c.KeyShard < 0 || c.KeyShard >= c.KeyShards) {
+		panic(fmt.Sprintf("workload: KeyShard %d outside [0,%d)", c.KeyShard, c.KeyShards))
+	}
 	if len(c.Classes) == 0 {
 		c.Classes = []Class{{Name: "GET", Weight: 1, Type: policy.ReqGET}}
 	}
@@ -128,17 +168,26 @@ func New(eng *sim.Engine, dev *nic.NIC, cfg Config) *Generator {
 			g.cum[i] /= sum
 		}
 	}
-	seen := make(map[flowID]bool, cfg.Flows)
-	for len(g.flows) < cfg.Flows {
-		f := flowID{
-			ip:   0x0a000000 + eng.Rand().Uint32N(1<<16),
-			port: uint16(1024 + eng.Rand().IntN(60000)),
+	if len(cfg.FlowSet) > 0 {
+		// Cluster-assigned flows: the pool was drawn (and steered) at
+		// cluster scope, so the host PRNG is not consumed here.
+		g.flows = make([]flowID, len(cfg.FlowSet))
+		for i, f := range cfg.FlowSet {
+			g.flows[i] = flowID{ip: f.IP, port: f.Port}
 		}
-		if seen[f] {
-			continue
+	} else {
+		seen := make(map[flowID]bool, cfg.Flows)
+		for len(g.flows) < cfg.Flows {
+			f := flowID{
+				ip:   0x0a000000 + eng.Rand().Uint32N(1<<16),
+				port: uint16(1024 + eng.Rand().IntN(60000)),
+			}
+			if seen[f] {
+				continue
+			}
+			seen[f] = true
+			g.flows = append(g.flows, f)
 		}
-		seen[f] = true
-		g.flows = append(g.flows, f)
 	}
 	g.arriveCB = func(any, uint64) {
 		now := g.eng.Now()
@@ -217,6 +266,15 @@ func (g *Generator) send(measured bool) {
 
 	key := uint64(rng.Int64N(int64(g.cfg.KeySpace)))
 	keyHash := uint32(key * 2654435761 % (1 << 31))
+	if g.cfg.KeyShards > 1 {
+		// Shard-aware client: redraw until the key belongs to this host's
+		// shard. The shard function uses the hash's high bits, so
+		// within-host steering (keyHash % NUM_EXECUTORS) stays uniform.
+		for policy.KeyShardOf(keyHash, g.cfg.KeyShards) != g.cfg.KeyShard {
+			key = uint64(rng.Int64N(int64(g.cfg.KeySpace)))
+			keyHash = uint32(key * 2654435761 % (1 << 31))
+		}
+	}
 
 	flow := g.flows[rng.IntN(len(g.flows))]
 	pkt := nic.NewPacket()

@@ -18,6 +18,7 @@
 package syrup
 
 import (
+	"fmt"
 	"io"
 	"os"
 
@@ -75,6 +76,12 @@ type HostConfig struct {
 	// Seed drives all simulated randomness; runs with equal seeds are
 	// bit-identical. Zero means seed 1.
 	Seed uint64
+	// HostID identifies this host within a cluster (internal/cluster
+	// derives one per member); standalone hosts keep 0.
+	HostID int
+	// Name labels the host in cluster reports and defaults to
+	// "host-<HostID>".
+	Name string
 	// NumCPUs is the application core count (0 = no thread scheduler).
 	NumCPUs int
 	// NICQueues is the RX queue count (0 = 1).
@@ -123,8 +130,64 @@ func WriteChromeTrace(w io.Writer, spans []TraceSpan) error {
 	return trace.WriteChrome(w, spans)
 }
 
+// maxParallelism bounds the per-host core and queue counts; the simulator
+// models end hosts, not whole racks, and a wildly large value is almost
+// certainly a units mistake (e.g. passing a load figure as NumCPUs).
+const maxParallelism = 4096
+
+// Normalize validates cfg and resolves every implicit default in one
+// place: the seed, the host name, the NIC queue count, and the Batch →
+// NIC.Budget / Stack.Batch propagation. It is the single config seam —
+// NewHost, TryNewHost, and the cluster layer all normalize through here,
+// so a nonsensical config fails the same way everywhere.
+func (cfg HostConfig) Normalize() (HostConfig, error) {
+	switch {
+	case cfg.NumCPUs < 0:
+		return cfg, fmt.Errorf("syrup: NumCPUs %d is negative", cfg.NumCPUs)
+	case cfg.NumCPUs > maxParallelism:
+		return cfg, fmt.Errorf("syrup: NumCPUs %d exceeds the per-host maximum %d", cfg.NumCPUs, maxParallelism)
+	case cfg.NICQueues < 0:
+		return cfg, fmt.Errorf("syrup: NICQueues %d is negative", cfg.NICQueues)
+	case cfg.NICQueues > maxParallelism:
+		return cfg, fmt.Errorf("syrup: NICQueues %d exceeds the per-host maximum %d", cfg.NICQueues, maxParallelism)
+	case cfg.Batch < 0:
+		return cfg, fmt.Errorf("syrup: Batch %d is negative", cfg.Batch)
+	case cfg.HostID < 0:
+		return cfg, fmt.Errorf("syrup: HostID %d is negative", cfg.HostID)
+	case cfg.NIC.Queues < 0:
+		return cfg, fmt.Errorf("syrup: NIC.Queues %d is negative", cfg.NIC.Queues)
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Name == "" {
+		cfg.Name = fmt.Sprintf("host-%d", cfg.HostID)
+	}
+	if cfg.NIC.Queues == 0 {
+		cfg.NIC.Queues = cfg.NICQueues
+	}
+	if cfg.NIC.Queues == 0 {
+		cfg.NIC.Queues = 1
+	}
+	cfg.NICQueues = cfg.NIC.Queues
+	if cfg.Batch > 1 {
+		if cfg.NIC.Budget == 0 {
+			cfg.NIC.Budget = cfg.Batch
+		}
+		if cfg.Stack.Batch == 0 {
+			cfg.Stack.Batch = cfg.Batch
+		}
+	}
+	return cfg, nil
+}
+
 // Host is a simulated end-host running syrupd.
 type Host struct {
+	// ID and Name carry the host's cluster identity (HostConfig.HostID /
+	// HostConfig.Name); standalone hosts are host 0.
+	ID   int
+	Name string
+
 	Eng     *sim.Engine
 	Machine *kernel.Machine // nil when NumCPUs == 0
 	NIC     *nic.NIC
@@ -139,29 +202,25 @@ type Host struct {
 }
 
 // NewHost builds a host: NIC wired to the kernel network stack, CPUs under
-// CFS, and a syrupd instance managing it all.
+// CFS, and a syrupd instance managing it all. It panics on an invalid
+// config; TryNewHost reports the error instead.
 func NewHost(cfg HostConfig) *Host {
-	if cfg.Seed == 0 {
-		cfg.Seed = 1
+	h, err := TryNewHost(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// TryNewHost is NewHost with the config error surfaced — the constructor
+// the cluster layer and other programmatic callers use.
+func TryNewHost(cfg HostConfig) (*Host, error) {
+	cfg, err := cfg.Normalize()
+	if err != nil {
+		return nil, err
 	}
 	eng := sim.New(cfg.Seed)
-	nicCfg := cfg.NIC
-	if nicCfg.Queues == 0 {
-		nicCfg.Queues = cfg.NICQueues
-	}
-	if nicCfg.Queues == 0 {
-		nicCfg.Queues = 1
-	}
-	stackCfg := cfg.Stack
-	if cfg.Batch > 1 {
-		if nicCfg.Budget == 0 {
-			nicCfg.Budget = cfg.Batch
-		}
-		if stackCfg.Batch == 0 {
-			stackCfg.Batch = cfg.Batch
-		}
-	}
-	dev, stack := netstack.Wire(eng, nicCfg, stackCfg)
+	dev, stack := netstack.Wire(eng, cfg.NIC, cfg.Stack)
 	var machine *kernel.Machine
 	if cfg.NumCPUs > 0 {
 		kcfg := cfg.Kernel
@@ -169,6 +228,8 @@ func NewHost(cfg HostConfig) *Host {
 		machine = kernel.New(eng, kcfg)
 	}
 	h := &Host{
+		ID:      cfg.HostID,
+		Name:    cfg.Name,
 		Eng:     eng,
 		Machine: machine,
 		NIC:     dev,
@@ -190,7 +251,7 @@ func NewHost(cfg HostConfig) *Host {
 	if cfg.Quarantine != nil {
 		h.Daemon.EnableQuarantine(*cfg.Quarantine)
 	}
-	return h
+	return h, nil
 }
 
 // AttachStorage puts a storage device under syrupd's management so apps

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race lint-hooks trace-check alloc-gates chaos cluster-diff check bench bench-cluster bench-dispatch bench-engine bench-datapath fuzz clean
+.PHONY: build test vet race lint-hooks trace-check alloc-gates chaos cluster-diff opt-diff check bench bench-cluster bench-dispatch bench-engine bench-datapath bench-policy fuzz clean
 
 build:
 	$(GO) build ./...
@@ -59,10 +59,19 @@ cluster-diff:
 	$(GO) test ./internal/cluster/ ./internal/par/
 	$(GO) test -run 'TestCluster' ./internal/experiments/
 
+# Optimizer gate (see DESIGN.md "Optimizer"): the three-way differential
+# (interpreter vs -O0 threaded code vs -O1 optimized) over random programs
+# and the fuzz seed corpus, the text round-trip suite syrup-policy disasm
+# depends on, and the figure-slice digests at -O0 vs -O1, which must be
+# bit-identical per seed.
+opt-diff:
+	$(GO) test -run 'TestDifferential|FuzzJITMatchesInterp|TestTextRoundTrip|TestOpt' ./internal/ebpf/
+	$(GO) test -run 'TestOptDifferential' ./internal/experiments/
+
 # check is the PR gate: build, vet, lint, race-test the VM + hooks +
-# observability, alloc gates, chaos suite, cluster determinism gate, then
-# the full suite.
-check: build vet lint-hooks race trace-check alloc-gates chaos cluster-diff test
+# observability, alloc gates, chaos suite, cluster determinism gate,
+# optimizer differential gate, then the full suite.
+check: build vet lint-hooks race trace-check alloc-gates chaos cluster-diff opt-diff test
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -93,6 +102,15 @@ bench-engine:
 # target shows the wall-clock and allocation margin batching buys.
 bench-datapath:
 	$(GO) test ./internal/experiments/ -run '^$$' -bench BenchmarkDatapathBurst -benchmem -benchtime 2x
+
+# Optimizer wall-clock margin (see DESIGN.md "Optimizer"): the dispatch
+# benchmark shapes at -O0 vs -O1. The map-heavy shape must hold >=1.2x
+# compiled-over-compiled; reference numbers live in EXPERIMENTS.md.
+bench-policy:
+	@echo '--- -O0 (SYRUP_EBPF_NOOPT=1)'
+	SYRUP_EBPF_NOOPT=1 $(GO) test ./internal/ebpf/ -run '^$$' -bench BenchmarkDispatch -benchmem
+	@echo '--- -O1 (default)'
+	$(GO) test ./internal/ebpf/ -run '^$$' -bench BenchmarkDispatch -benchmem
 
 # Extended differential fuzzing of the compiled dispatch path against the
 # interpreter oracle (the seed corpus already runs under plain `go test`).

@@ -1,0 +1,219 @@
+// Command syrup-policy is the policy author's front door to the compiler
+// pipeline: assemble, verify, optimize, and inspect .syr policy files the
+// same way syrupd will at deploy time.
+//
+// Usage:
+//
+//	syrup-policy build   [-D NAME=VALUE ...] [-O0] [-o out.bin] <file.syr | builtin:NAME>
+//	syrup-policy disasm  [-D NAME=VALUE ...] [-O0] <file.syr | builtin:NAME>
+//	syrup-policy doctor  [-D NAME=VALUE ...] <file.syr | builtin:NAME>
+//	syrup-policy scaffold [name]
+//
+// build compiles and verifies, printing a summary (and with -o the
+// optimized bytecode in the classic 8-byte wire format). disasm prints
+// the executed stream rendered back to assemblable .syr source — the
+// output re-assembles to bit-identical bytecode (gated by the round-trip
+// tests). doctor runs the optimizing middle-end and prints the per-pass
+// instruction deltas plus the verifier fact justifying each elision.
+// scaffold prints a commented starter policy to build from.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"syrup/internal/ebpf"
+	"syrup/internal/policy"
+)
+
+type defineFlags map[string]int64
+
+func (d defineFlags) String() string { return "" }
+func (d defineFlags) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("define %q not in NAME=VALUE form", s)
+	}
+	v, err := strconv.ParseInt(val, 0, 64)
+	if err != nil {
+		return err
+	}
+	d[name] = v
+	return nil
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: syrup-policy <command> [flags] <file.syr | builtin:NAME>
+
+commands:
+  build     assemble, verify, and optimize; print a summary (-o writes bytecode)
+  disasm    print the executed stream as re-assemblable .syr source
+  doctor    print per-pass optimizer deltas and the fact behind each elision
+  scaffold  print a starter policy template
+
+flags (build/disasm/doctor):
+  -D NAME=VALUE   deploy-time define (repeatable)
+  -O0             load with the optimizing middle-end off (build/disasm)
+  -o file         write the loaded bytecode in wire format (build)`)
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "syrup-policy:", err)
+	os.Exit(1)
+}
+
+// source resolves a file path or builtin:NAME argument.
+func source(arg string) (name, src string) {
+	if builtin, ok := strings.CutPrefix(arg, "builtin:"); ok {
+		s, err := policy.Source(builtin)
+		if err != nil {
+			fatal(err)
+		}
+		return builtin, s
+	}
+	b, err := os.ReadFile(arg)
+	if err != nil {
+		fatal(err)
+	}
+	return arg, string(b)
+}
+
+// load runs the full deploy-time pipeline on one source.
+func load(name, src string, defines map[string]int64, noOpt bool) (*ebpf.AsmFile, *ebpf.Program) {
+	f, err := ebpf.Assemble(src, defines)
+	if err != nil {
+		fatal(fmt.Errorf("assemble: %w", err))
+	}
+	insns, _, table, err := f.Instantiate(nil)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := ebpf.Load(name, insns, ebpf.LoadOptions{MapTable: table, NoOpt: noOpt})
+	if err != nil {
+		fatal(err)
+	}
+	return f, prog
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+
+	fs := flag.NewFlagSet("syrup-policy "+cmd, flag.ExitOnError)
+	defines := defineFlags{}
+	fs.Var(defines, "D", "deploy-time define NAME=VALUE (repeatable)")
+	noOpt := fs.Bool("O0", false, "load with the optimizing middle-end off")
+	out := fs.String("o", "", "write the loaded bytecode in wire format to `file` (build)")
+
+	switch cmd {
+	case "build", "disasm", "doctor":
+		fs.Parse(args)
+		if fs.NArg() != 1 {
+			usage()
+		}
+		name, src := source(fs.Arg(0))
+		switch cmd {
+		case "build":
+			runBuild(name, src, defines, *noOpt, *out)
+		case "disasm":
+			runDisasm(name, src, defines, *noOpt)
+		case "doctor":
+			runDoctor(name, src, defines)
+		}
+	case "scaffold":
+		fs.Parse(args)
+		name := "my_policy"
+		if fs.NArg() > 0 {
+			name = fs.Arg(0)
+		}
+		fmt.Print(scaffold(name))
+	default:
+		usage()
+	}
+}
+
+func runBuild(name, src string, defines map[string]int64, noOpt bool, out string) {
+	f, prog := load(name, src, defines, noOpt)
+	level := "-O1"
+	if !prog.Optimized() {
+		level = "-O0"
+	}
+	fmt.Printf("%s: %d source lines, %d -> %d instructions (%s), %d map(s) — verified\n",
+		name, f.SourceLines, prog.OrigLen(), prog.Len(), level, len(f.Maps))
+	for _, spec := range f.Maps {
+		fmt.Printf("  map %-16s %-10s key=%d value=%d entries=%d\n",
+			spec.Name, spec.Type, spec.KeySize, spec.ValueSize, spec.MaxEntries)
+	}
+	if out != "" {
+		insns, _, _, err := f.Instantiate(nil)
+		if err != nil {
+			fatal(err)
+		}
+		// Write the stream as assembled (pre-load): map references keep
+		// their pseudo-fd form so the bytes are loadable elsewhere.
+		if err := os.WriteFile(out, ebpf.Encode(insns), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  wrote %d bytes to %s\n", 8*len(insns), out)
+	}
+}
+
+func runDisasm(name, src string, defines map[string]int64, noOpt bool) {
+	_, prog := load(name, src, defines, noOpt)
+	fmt.Print(prog.TextSource())
+}
+
+func runDoctor(name, src string, defines map[string]int64) {
+	_, prog := load(name, src, defines, false)
+	rep := prog.OptReport()
+	if rep == nil {
+		fmt.Printf("%s: optimizer did not run (disabled or rejected); program runs the verified original\n", name)
+		return
+	}
+	fmt.Printf("%s:\n%s", name, rep)
+	if !prog.Optimized() {
+		fmt.Println("(no pass changed the stream; the verified original is executed)")
+	}
+}
+
+func scaffold(name string) string {
+	return fmt.Sprintf(`; %s: schedule() policy for syrupd.
+;
+; The context at r1 holds two pointers:
+;   *(u64 *)(r1 + 0)   pkt_start (first byte of the UDP header)
+;   *(u64 *)(r1 + 8)   pkt_end   (one past the last byte)
+; Return an executor index in r0, or PASS/DROP.
+;
+; Deploy-time parameters arrive as defines and override .const defaults.
+.const NUM_EXECUTORS 6
+.map %s_state array 4 8 64    ; name type key_size value_size entries
+
+  r6 = *(u64 *)(r1 + 0)        ; pkt_start
+  r7 = *(u64 *)(r1 + 8)        ; pkt_end
+  r2 = r6
+  r2 += 16                     ; udp header + request type
+  if r2 > r7 goto pass         ; every packet read needs a bounds proof
+  r8 = *(u64 *)(r6 + 8)        ; request type (see policy.EncodeHeader)
+
+  *(u32 *)(r10 - 4) = 0        ; map key on the stack
+  r1 = map(%s_state)
+  r2 = r10
+  r2 += -4
+  call map_lookup_elem
+  if r0 == 0 goto pass         ; array lookups can still miss when out of range
+  r3 = *(u64 *)(r0 + 0)
+
+  r0 = r8
+  r0 %%= NUM_EXECUTORS
+  exit
+pass:
+  r0 = PASS
+  exit
+`, name, name, name)
+}

@@ -11,8 +11,8 @@ import (
 // dispatch counters left behind. Reports whether the program loaded.
 func runBatchDifferential(t *testing.T, insns []Instruction, nojit bool) bool {
 	t.Helper()
-	single := buildDiffWorld(insns, nojit)
-	batched := buildDiffWorld(insns, nojit)
+	single := buildDiffWorld(insns, nojit, false)
+	batched := buildDiffWorld(insns, nojit, false)
 	if errString(single.loadErr) != errString(batched.loadErr) {
 		t.Fatalf("load divergence: %v vs %v", single.loadErr, batched.loadErr)
 	}

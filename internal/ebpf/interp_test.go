@@ -359,11 +359,16 @@ func TestInterpTailCallLimit(t *testing.T) {
 }
 
 func TestInterpStatsAccounting(t *testing.T) {
-	p := wantAccept(t, []Instruction{
+	// NoOpt: the optimizer would legitimately fold this to `r0 = 1; exit`,
+	// and this test pins the raw accounting semantics.
+	p, err := Load("test", []Instruction{
 		MovImm(R0, 0),
 		ALUImm(ALUAdd, R0, 1),
 		Exit(),
-	}, nil)
+	}, LoadOptions{NoOpt: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	_, stats, err := p.Run(&Ctx{}, nil)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,172 @@
+package ebpf
+
+import "fmt"
+
+// ir.go: a small basic-block IR over verified bytecode, the optimizer's
+// working form. Lifting reuses the same jump-target analysis the JIT's
+// fusion pass performs; blocks keep their original layout order so lowering
+// (lower.go) is a straight re-linearization with offset fixup. Each IR
+// instruction remembers the original pc it came from, which is how passes
+// look up verifier facts (facts are per-original-PC) and how `syrup-policy
+// doctor` pins every elision to a source instruction.
+
+// irInsn is one instruction unit: an LDDW pair is a single wide unit so
+// passes never see (or split) a half-materialized 64-bit constant.
+type irInsn struct {
+	ins  Instruction
+	hi   Instruction // high half when wide
+	wide bool
+	// pc is the original slot index (of ins; hi occupied pc+1). Rewritten
+	// instructions keep the pc of the instruction they replaced.
+	pc int
+	// target is the jump-target block for conditional jumps and JmpA; nil
+	// otherwise. Off is recomputed from it at lowering.
+	target *irBlock
+}
+
+func (ii irInsn) slots() int {
+	if ii.wide {
+		return 2
+	}
+	return 1
+}
+
+func isCondJump(ins Instruction) bool {
+	cls := ins.Class()
+	if cls != ClassJMP && cls != ClassJMP32 {
+		return false
+	}
+	switch ins.Op & 0xf0 {
+	case JmpExit, JmpCall, JmpA:
+		return false
+	}
+	return true
+}
+
+func isJmpA(ins Instruction) bool {
+	return ins.Class() == ClassJMP && ins.Op&0xf0 == JmpA
+}
+
+func isExit(ins Instruction) bool {
+	return ins.Class() == ClassJMP && ins.Op&0xf0 == JmpExit
+}
+
+// irBlock is a maximal straight-line run of instructions. Control leaves
+// only through the final instruction (cond jump / ja / exit) or by falling
+// through to fallTo.
+type irBlock struct {
+	id    int
+	insns []irInsn
+	// fallTo is the fall-through successor: nil after ja/exit terminators.
+	// An empty block (everything optimized away) still falls through.
+	fallTo *irBlock
+}
+
+// succs appends b's successor blocks: the final instruction's jump target
+// (if any) plus the fall-through.
+func (b *irBlock) succs(buf []*irBlock) []*irBlock {
+	if n := len(b.insns); n > 0 {
+		if t := b.insns[n-1].target; t != nil {
+			buf = append(buf, t)
+		}
+	}
+	if b.fallTo != nil {
+		buf = append(buf, b.fallTo)
+	}
+	return buf
+}
+
+type irProg struct {
+	// blocks in original layout order; blocks[0] is the entry.
+	blocks []*irBlock
+}
+
+// slots counts instruction slots (LDDW = 2), matching Program.Len().
+func (pr *irProg) slots() int {
+	n := 0
+	for _, b := range pr.blocks {
+		for _, ii := range b.insns {
+			n += ii.slots()
+		}
+	}
+	return n
+}
+
+// liftIR builds the block graph from a verified instruction stream.
+func liftIR(insns []Instruction) (*irProg, error) {
+	n := len(insns)
+	// Block boundaries: entry, every jump target, and every slot after a
+	// jump or exit.
+	isStart := make([]bool, n+1)
+	isStart[0] = true
+	for i := 0; i < n; i++ {
+		ins := insns[i]
+		if ins.IsLDDW() {
+			if i+1 >= n {
+				return nil, fmt.Errorf("ebpf: ir: insn %d: truncated LDDW", i)
+			}
+			i++
+			continue
+		}
+		cls := ins.Class()
+		if cls != ClassJMP && cls != ClassJMP32 {
+			continue
+		}
+		op := ins.Op & 0xf0
+		if op == JmpCall {
+			continue
+		}
+		if op != JmpExit {
+			tgt := i + 1 + int(ins.Off)
+			if tgt < 0 || tgt >= n {
+				return nil, fmt.Errorf("ebpf: ir: insn %d: jump target %d out of range", i, tgt)
+			}
+			isStart[tgt] = true
+		}
+		if i+1 <= n {
+			isStart[i+1] = true
+		}
+	}
+
+	pr := &irProg{}
+	byStart := make(map[int]*irBlock)
+	var cur *irBlock
+	for i := 0; i < n; i++ {
+		if isStart[i] || cur == nil {
+			cur = &irBlock{id: len(pr.blocks)}
+			byStart[i] = cur
+			pr.blocks = append(pr.blocks, cur)
+		}
+		ii := irInsn{ins: insns[i], pc: i}
+		if insns[i].IsLDDW() {
+			if isStart[i+1] {
+				return nil, fmt.Errorf("ebpf: ir: insn %d: jump into the middle of an LDDW pair", i+1)
+			}
+			ii.wide = true
+			ii.hi = insns[i+1]
+			i++
+		}
+		cur.insns = append(cur.insns, ii)
+	}
+
+	// Link edges.
+	for bi, b := range pr.blocks {
+		last := &b.insns[len(b.insns)-1]
+		ins := last.ins
+		if isCondJump(ins) || isJmpA(ins) {
+			tgt := last.pc + 1 + int(ins.Off)
+			tb := byStart[tgt]
+			if tb == nil {
+				return nil, fmt.Errorf("ebpf: ir: insn %d: jump target %d is not a block start", last.pc, tgt)
+			}
+			last.target = tb
+		}
+		if !isJmpA(ins) && !isExit(ins) {
+			if bi+1 >= len(pr.blocks) {
+				return nil, fmt.Errorf("ebpf: ir: block %d falls off the end of the program", bi)
+			}
+			b.fallTo = pr.blocks[bi+1]
+		}
+	}
+	return pr, nil
+}

@@ -282,18 +282,27 @@ func Disassemble(ins Instruction, next *Instruction) string {
 			return fmt.Sprintf("lock *(%s *)(%s %+d) += %s", sizeName(ins.Op), reg(ins.Dst), ins.Off, reg(ins.Src))
 		}
 		return fmt.Sprintf("*(%s *)(%s %+d) = %s", sizeName(ins.Op), reg(ins.Dst), ins.Off, reg(ins.Src))
-	case ClassJMP:
+	case ClassJMP, ClassJMP32:
 		op := ins.Op & 0xf0
-		switch op {
-		case JmpA:
-			return fmt.Sprintf("goto %+d", ins.Off)
-		case JmpCall:
-			if name, ok := HelperName[ins.Imm]; ok {
-				return "call " + name
+		if ins.Class() == ClassJMP {
+			switch op {
+			case JmpA:
+				return fmt.Sprintf("goto %+d", ins.Off)
+			case JmpCall:
+				if name, ok := HelperName[ins.Imm]; ok {
+					return "call " + name
+				}
+				return fmt.Sprintf("call %d", ins.Imm)
+			case JmpExit:
+				return "exit"
 			}
-			return fmt.Sprintf("call %d", ins.Imm)
-		case JmpExit:
-			return "exit"
+		} else {
+			// ja/call/exit have no 32-bit form.
+			switch op {
+			case JmpA, JmpCall, JmpExit:
+				return fmt.Sprintf("<invalid jmp32 %#x>", ins.Op)
+			}
+			reg = func(r uint8) string { return fmt.Sprintf("w%d", r) }
 		}
 		name, ok := jmpOpName[op]
 		if !ok {

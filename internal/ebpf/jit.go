@@ -174,7 +174,17 @@ func compile(p *Program) []opFunc {
 			if targets[i+1] {
 				continue
 			}
-			if f := p.compileFused(i, targets); f != nil {
+			// Optimized programs get the widened, fact-era shapes first
+			// (jit_opt.go), falling back to the base matcher; -O0 programs
+			// keep the PR-1 matcher byte-for-byte.
+			var f opFunc
+			if p.opt {
+				f = p.compileFusedWide(i, targets)
+			}
+			if f == nil {
+				f = p.compileFused(i, targets)
+			}
+			if f != nil {
 				code[i] = f
 			}
 		}
@@ -573,6 +583,9 @@ func compileALU(ins Instruction, is64 bool, next int) opFunc {
 }
 
 func (p *Program) compileLoad(i int, ins Instruction) opFunc {
+	if f := p.specLoad(i, ins); f != nil {
+		return f
+	}
 	dst, src := ins.Dst, ins.Src
 	off := int64(ins.Off)
 	size := ins.LoadSize()
@@ -608,6 +621,9 @@ func (p *Program) compileLoad(i int, ins Instruction) opFunc {
 }
 
 func (p *Program) compileStore(i int, ins Instruction) opFunc {
+	if f := p.specStore(i, ins); f != nil {
+		return f
+	}
 	dst, src := ins.Dst, ins.Src
 	off := int64(ins.Off)
 	size := ins.LoadSize()
@@ -691,9 +707,9 @@ func (p *Program) compileJump(i int, ins Instruction) opFunc {
 	case JmpExit:
 		return func(rs *runState) int { return opExit }
 	case JmpCall:
-		insv := ins
+		core := p.compileCallCore(i)
 		return func(rs *runState) int {
-			next, err := rs.call(p, insv)
+			next, err := core(rs)
 			if err != nil {
 				rs.err = fmt.Errorf("ebpf: %s: insn %d: %w", p.name, i, err)
 				return opErr

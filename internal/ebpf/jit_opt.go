@@ -1,0 +1,456 @@
+package ebpf
+
+// jit_opt.go: fact-driven JIT specialization and the widened
+// superinstruction matcher. Everything here is gated on p.opt — a program
+// the middle-end rewrote and whose stream was re-verified, so p.facts
+// describes exactly the instructions being compiled. Programs loaded with
+// -O0 (NoOpt / SYRUP_EBPF_NOOPT) compile byte-for-byte like the PR-1 JIT,
+// which keeps the A/B comparison (and the bisection escape hatch) honest.
+//
+// Two mechanisms, same contract as the base compiler — bit-identical
+// semantics to the interpreter, including error strings and ExecStats:
+//
+//   - Specialized single closures: when the verifier pinned a load/store
+//     base to a known region and offset, the runtime region dispatch in
+//     rs.mem is replaced by a direct slice access (stack, ctx field) or a
+//     single precomputed bounds compare (packet). This is the "stop
+//     re-deriving at JIT time what verifier.go already proved" fix.
+//   - Widened fusion (compileFusedWide): adjacent pairs the original
+//     matcher didn't cover — call+branch-on-R0, load+compare, store+mov,
+//     mov+exit — fuse into one dispatch, with rs.extra keeping the
+//     instruction accounting exact.
+
+import "fmt"
+
+// specLoad emits a specialized closure for a ClassLDX load whose base
+// register the verifier pinned at this slot, or nil when no fact applies.
+func (p *Program) specLoad(i int, ins Instruction) opFunc {
+	if !p.opt || p.facts == nil || !p.facts.Visited(i) {
+		return nil
+	}
+	dst := ins.Dst
+	size := ins.LoadSize()
+	next := i + 1
+	base := p.facts.Reg(i, ins.Src)
+	if !base.OffKnown {
+		return nil
+	}
+	switch base.Type {
+	case FactCtx:
+		// The verifier admitted this load, so the offset is one of the
+		// context fields; resolve the switch at compile time.
+		switch base.Off + int64(ins.Off) {
+		case CtxOffData:
+			return func(rs *runState) int {
+				rs.regs[dst] = ptrVal(regionPacket, 0)
+				return next
+			}
+		case CtxOffDataEnd:
+			return func(rs *runState) int {
+				rs.regs[dst] = ptrVal(regionPacket, uint64(len(rs.ctx.Packet)))
+				return next
+			}
+		case CtxOffHash:
+			return func(rs *runState) int {
+				rs.regs[dst] = uint64(rs.ctx.Hash)
+				return next
+			}
+		case CtxOffPort:
+			return func(rs *runState) int {
+				rs.regs[dst] = uint64(rs.ctx.Port)
+				return next
+			}
+		case CtxOffQueue:
+			return func(rs *runState) int {
+				rs.regs[dst] = uint64(rs.ctx.Queue)
+				return next
+			}
+		}
+		return nil
+	case FactStack:
+		abs := int64(StackSize) + base.Off + int64(ins.Off)
+		if abs < 0 || abs+int64(size) > StackSize {
+			return nil
+		}
+		lo := int(abs)
+		return func(rs *runState) int {
+			rs.regs[dst] = loadSized(rs.stack[lo:lo+size], size)
+			return next
+		}
+	case FactPacket:
+		// Packet length is runtime state, so the bounds compare stays — but
+		// as one precomputed comparison instead of rs.mem's region walk.
+		po := base.Off + int64(ins.Off)
+		return func(rs *runState) int {
+			if po < 0 || int(po)+size > len(rs.ctx.Packet) {
+				rs.err = fmt.Errorf("ebpf: %s: insn %d: %w", p.name, i,
+					fmt.Errorf("packet access out of range: off %d size %d len %d", po, size, len(rs.ctx.Packet)))
+				return opErr
+			}
+			rs.regs[dst] = loadSized(rs.ctx.Packet[po:int(po)+size], size)
+			return next
+		}
+	}
+	return nil
+}
+
+// specStore emits a specialized closure for a plain ST/STX store through
+// a verifier-pinned stack base, or nil.
+func (p *Program) specStore(i int, ins Instruction) opFunc {
+	if !p.opt || p.facts == nil || !p.facts.Visited(i) {
+		return nil
+	}
+	if ins.Class() == ClassSTX && ins.Op&0xe0 == ModeATOMIC {
+		return nil
+	}
+	base := p.facts.Reg(i, ins.Dst)
+	if base.Type != FactStack || !base.OffKnown {
+		return nil
+	}
+	size := ins.LoadSize()
+	abs := int64(StackSize) + base.Off + int64(ins.Off)
+	if abs < 0 || abs+int64(size) > StackSize {
+		return nil
+	}
+	lo := int(abs)
+	next := i + 1
+	if ins.Class() == ClassSTX {
+		src := ins.Src
+		return func(rs *runState) int {
+			storeSized(rs.stack[lo:lo+size], size, rs.regs[src])
+			return next
+		}
+	}
+	k := uint64(int64(ins.Imm))
+	return func(rs *runState) int {
+		storeSized(rs.stack[lo:lo+size], size, k)
+		return next
+	}
+}
+
+func clobberCall(rs *runState, ret uint64) {
+	rs.regs[R0] = ret
+	for r := R1; r <= R5; r++ {
+		rs.regs[r] = 0
+	}
+}
+
+// compileCallCore returns the helper-invocation core for the call at slot
+// i: a specialized map-lookup closure when facts pin the handle to a known
+// map and the key to a known stack window (the dominant shape on every
+// policy's hot path), else a thin wrapper over the interpreter's rs.call.
+// Effect order matches rs.call exactly: Helpers accounting, fault hook,
+// lookup, region bookkeeping, R0-R5 clobber.
+func (p *Program) compileCallCore(i int) func(rs *runState) (*Program, error) {
+	ins := p.insns[i]
+	if p.opt && p.facts != nil && p.facts.Visited(i) && ins.Imm == HelperMapLookup {
+		h := p.facts.Reg(i, R1)
+		kf := p.facts.Reg(i, R2)
+		if h.Type == FactMapHandle && h.MapIdx >= 0 && int(h.MapIdx) < len(p.maps) &&
+			kf.Type == FactStack && kf.OffKnown {
+			m := p.maps[h.MapIdx]
+			ks := int(m.spec.KeySize)
+			if abs := int64(StackSize) + kf.Off; abs >= 0 && abs+int64(ks) <= StackSize {
+				lo := int(abs)
+				return func(rs *runState) (*Program, error) {
+					rs.stats.Helpers++
+					if rs.env.FaultLookupMiss != nil && rs.env.FaultLookupMiss() {
+						clobberCall(rs, 0)
+						return nil, nil
+					}
+					ref := m.lookupRef(rs.stack[lo:lo+ks], rs.env.CPUID)
+					if ref == nil {
+						clobberCall(rs, 0)
+						return nil, nil
+					}
+					if len(rs.regions) >= (1<<16)-regionDynBase {
+						return nil, fmt.Errorf("too many map value regions")
+					}
+					rs.regions = append(rs.regions, dynRegion{data: ref, m: m})
+					clobberCall(rs, ptrVal(regionDynBase+uint64(len(rs.regions)-1), 0))
+					return nil, nil
+				}
+			}
+		}
+	}
+	return func(rs *runState) (*Program, error) { return rs.call(p, ins) }
+}
+
+// loadValue performs one load with the interpreter's exact semantics and
+// error strings, parking the wrapped error on rs.err on failure.
+func (p *Program) loadValue(rs *runState, base uint64, off int64, size int, i int) (uint64, bool) {
+	if ptrRegion(base) == regionCtx {
+		switch int64(ptrOff(base)) + off {
+		case CtxOffData:
+			return ptrVal(regionPacket, 0), true
+		case CtxOffDataEnd:
+			return ptrVal(regionPacket, uint64(len(rs.ctx.Packet))), true
+		case CtxOffHash:
+			return uint64(rs.ctx.Hash), true
+		case CtxOffPort:
+			return uint64(rs.ctx.Port), true
+		case CtxOffQueue:
+			return uint64(rs.ctx.Queue), true
+		default:
+			rs.err = fmt.Errorf("ebpf: %s: insn %d: bad ctx load at %d", p.name, i, int64(ptrOff(base))+off)
+			return 0, false
+		}
+	}
+	b, _, err := rs.mem(base+uint64(off), size)
+	if err != nil {
+		rs.err = fmt.Errorf("ebpf: %s: insn %d: %w", p.name, i, err)
+		return 0, false
+	}
+	return loadSized(b, size), true
+}
+
+// jmpUnsignedOp reports the jump ops that read the untruncated 64-bit
+// register in both jump classes (jumpTaken): unsigned, equality and SET.
+// Signed forms truncate under JMP32 and are excluded from fusion.
+func jmpUnsignedOp(op uint8) bool {
+	switch op {
+	case JmpEq, JmpNe, JmpGt, JmpGe, JmpLt, JmpLe, JmpSet:
+		return true
+	}
+	return false
+}
+
+// jmpCmpUnsigned returns the predicate for a full-width compare against a
+// (sign-extended) immediate for the ops jmpUnsignedOp admits.
+func jmpCmpUnsigned(op uint8, k uint64) func(uint64) bool {
+	switch op {
+	case JmpEq:
+		return func(v uint64) bool { return v == k }
+	case JmpNe:
+		return func(v uint64) bool { return v != k }
+	case JmpGt:
+		return func(v uint64) bool { return v > k }
+	case JmpGe:
+		return func(v uint64) bool { return v >= k }
+	case JmpLt:
+		return func(v uint64) bool { return v < k }
+	case JmpLe:
+		return func(v uint64) bool { return v <= k }
+	case JmpSet:
+		return func(v uint64) bool { return v&k != 0 }
+	}
+	return nil
+}
+
+// fusableShape reports whether the widened matcher fuses a immediately
+// followed by b. The optimizer's scheduling pass steers reorderings with
+// it; a false positive only costs a missed fusion, never correctness.
+func fusableShape(a, b Instruction) bool {
+	switch {
+	case a.Class() == ClassST && b.IsLDDW():
+		return true
+	case a.Op == ClassALU64|ALUMov|SrcX && b.Class() == ClassALU64 && b.Op&SrcX == 0 &&
+		a.Dst == b.Dst && fusableALUImm(b.Op&0xf0):
+		return true
+	case a.Class() == ClassLDX && b.Class() == ClassALU64 && b.Op&SrcX == 0 && a.Dst == b.Dst &&
+		(b.Op&0xf0 == ALUAdd || b.Op&0xf0 == ALUAnd):
+		return true
+	case a.Class() == ClassJMP && a.Op&0xf0 == JmpCall && isCondJump(b) && b.Op&SrcX == 0 &&
+		b.Dst == R0 && (b.Op&0xf0 == JmpEq || b.Op&0xf0 == JmpNe):
+		return true
+	case a.Class() == ClassLDX && isCondJump(b) && b.Op&SrcX == 0 && b.Dst == a.Dst &&
+		jmpUnsignedOp(b.Op&0xf0):
+		return true
+	case isExit(b) && (a.Class() == ClassALU || a.Class() == ClassALU64):
+		return true
+	case (a.Class() == ClassST || (a.Class() == ClassSTX && a.Op&0xe0 != ModeATOMIC)) &&
+		(b.Op == ClassALU64|ALUMov|SrcX || b.Op == ClassALU64|ALUMov|SrcK ||
+			b.Op == ClassALU|ALUMov|SrcK):
+		return true
+	}
+	return false
+}
+
+// compileFusedWide recognizes the widened shapes at insn i, or returns
+// nil (the caller then falls back to the base matcher). Only compiled for
+// optimized programs; the second slot is already known not to be a jump
+// target. Accounting rule (same as the base matcher): rs.extra bumps only
+// once a later instruction's semantics actually execute, so a fault in an
+// earlier half charges exactly like the interpreter.
+func (p *Program) compileFusedWide(i int, targets []bool) opFunc {
+	a, b := p.insns[i], p.insns[i+1]
+
+	// st imm ; lddw — the base matcher's shape, upgraded with a direct
+	// stack store when facts pin the store base (the map-key prologue
+	// `*(u32*)(r10-4) = 0; r1 = map(...)` always qualifies).
+	if a.Class() == ClassST && b.IsLDDW() && i+2 < len(p.insns) && !targets[i+2] &&
+		p.facts != nil && p.facts.Visited(i) {
+		if base := p.facts.Reg(i, a.Dst); base.Type == FactStack && base.OffKnown {
+			size := a.LoadSize()
+			if abs := int64(StackSize) + base.Off + int64(a.Off); abs >= 0 && abs+int64(size) <= StackSize {
+				lo := int(abs)
+				sval := uint64(int64(a.Imm))
+				var v uint64
+				if b.Src == PseudoMapFD {
+					v = ptrVal(regionMapHandle, uint64(b.Imm))
+				} else {
+					v = Imm64(b, p.insns[i+2])
+				}
+				ldst := b.Dst
+				next := i + 3
+				return func(rs *runState) int {
+					storeSized(rs.stack[lo:lo+size], size, sval)
+					rs.extra++
+					rs.regs[ldst] = v
+					return next
+				}
+			}
+		}
+	}
+
+	// ldx rD,[rB+off] ; rD op= imm ; stx [rB+off],rD  →  the classic
+	// read-modify-write counter bump, with a single window resolution
+	// serving both the load and the store (same base, offset and size, and
+	// rB is not clobbered in between). The only faultable step is the
+	// window resolution, charged to the ldx exactly like the interpreter.
+	if i+2 < len(p.insns) && !targets[i+2] &&
+		a.Class() == ClassLDX && b.Class() == ClassALU64 && b.Op&SrcX == 0 && b.Dst == a.Dst {
+		c := p.insns[i+2]
+		op := b.Op & 0xf0
+		if c.Class() == ClassSTX && c.Op&0xe0 != ModeATOMIC &&
+			c.Dst == a.Src && c.Src == a.Dst && c.Off == a.Off &&
+			c.LoadSize() == a.LoadSize() && a.Src != a.Dst &&
+			(op == ALUAdd || op == ALUSub || op == ALUAnd || op == ALUOr || op == ALUXor) {
+			dst, src := a.Dst, a.Src
+			off := int64(a.Off)
+			size := a.LoadSize()
+			k := uint64(int64(b.Imm))
+			next := i + 3
+			return func(rs *runState) int {
+				m, _, err := rs.mem(rs.regs[src]+uint64(off), size)
+				if err != nil {
+					rs.err = fmt.Errorf("ebpf: %s: insn %d: %w", p.name, i, err)
+					return opErr
+				}
+				v := loadSized(m, size)
+				switch op {
+				case ALUAdd:
+					v += k
+				case ALUSub:
+					v -= k
+				case ALUAnd:
+					v &= k
+				case ALUOr:
+					v |= k
+				case ALUXor:
+					v ^= k
+				}
+				rs.regs[dst] = v
+				storeSized(m, size, v)
+				rs.extra += 2
+				return next
+			}
+		}
+	}
+
+	// call ; if r0 ==/!= imm  →  invoke the helper, branch on R0. A
+	// successful tail call transfers control and never reaches the branch.
+	if a.Class() == ClassJMP && a.Op&0xf0 == JmpCall &&
+		isCondJump(b) && b.Op&SrcX == 0 && b.Dst == R0 &&
+		(b.Op&0xf0 == JmpEq || b.Op&0xf0 == JmpNe) {
+		core := p.compileCallCore(i)
+		k := uint64(int64(b.Imm))
+		target := i + 2 + int(b.Off)
+		fall := i + 2
+		isEq := b.Op&0xf0 == JmpEq
+		return func(rs *runState) int {
+			next, err := core(rs)
+			if err != nil {
+				rs.err = fmt.Errorf("ebpf: %s: insn %d: %w", p.name, i, err)
+				return opErr
+			}
+			if next != nil {
+				rs.tail = next
+				return opTail
+			}
+			rs.extra++
+			taken := rs.regs[R0] == k
+			if !isEq {
+				taken = !taken
+			}
+			return branch(taken, target, fall)
+		}
+	}
+
+	// ldx ; if rX OP imm  →  load (possibly fact-specialized upstream, but
+	// here in its general form) then compare.
+	if a.Class() == ClassLDX && isCondJump(b) && b.Op&SrcX == 0 && b.Dst == a.Dst {
+		k := uint64(int64(b.Imm))
+		cmp := jmpCmpUnsigned(b.Op&0xf0, k)
+		if cmp == nil {
+			return nil
+		}
+		dst, src := a.Dst, a.Src
+		off := int64(a.Off)
+		size := a.LoadSize()
+		target := i + 2 + int(b.Off)
+		fall := i + 2
+		return func(rs *runState) int {
+			v, ok := p.loadValue(rs, rs.regs[src], off, size, i)
+			if !ok {
+				return opErr
+			}
+			rs.regs[dst] = v
+			rs.extra++
+			return branch(cmp(v), target, fall)
+		}
+	}
+
+	// alu ; exit  →  the epilogue collapses to one dispatch. compileALU
+	// already emits the exact per-op closure; aiming it at opExit and
+	// charging the extra slot covers every ALU form (`r0 = 1`, `r0 = r6`,
+	// `r0 %= 6`, ...). An ALU op in a verified stream cannot fault, so the
+	// up-front extra bump never misattributes.
+	if isExit(b) && (a.Class() == ClassALU || a.Class() == ClassALU64) {
+		inner := compileALU(a, a.Class() == ClassALU64, opExit)
+		return func(rs *runState) int {
+			rs.extra++
+			return inner(rs)
+		}
+	}
+
+	// st/stx ; mov  →  store then the (independent-by-construction) move;
+	// the move reads its operand after the store, exactly as sequential
+	// execution would.
+	if (a.Class() == ClassST || (a.Class() == ClassSTX && a.Op&0xe0 != ModeATOMIC)) &&
+		(b.Op == ClassALU64|ALUMov|SrcX || b.Op == ClassALU64|ALUMov|SrcK ||
+			b.Op == ClassALU|ALUMov|SrcK) {
+		size := a.LoadSize()
+		sdst, ssrc := a.Dst, a.Src
+		soff := int64(a.Off)
+		sk := uint64(int64(a.Imm))
+		isSTX := a.Class() == ClassSTX
+		movReg := b.Op == ClassALU64|ALUMov|SrcX
+		mdst, msrc := b.Dst, b.Src
+		kk := uint64(int64(b.Imm))
+		if b.Op == ClassALU|ALUMov|SrcK {
+			kk = uint64(uint32(kk))
+		}
+		next := i + 2
+		return func(rs *runState) int {
+			m, _, err := rs.mem(rs.regs[sdst]+uint64(soff), size)
+			if err != nil {
+				rs.err = fmt.Errorf("ebpf: %s: insn %d: %w", p.name, i, err)
+				return opErr
+			}
+			v := sk
+			if isSTX {
+				v = rs.regs[ssrc]
+			}
+			storeSized(m, size, v)
+			rs.extra++
+			if movReg {
+				rs.regs[mdst] = rs.regs[msrc]
+			} else {
+				rs.regs[mdst] = kk
+			}
+			return next
+		}
+	}
+	return nil
+}

@@ -9,11 +9,15 @@ import (
 	"syrup/internal/metrics"
 )
 
-// Differential harness: run the same instruction stream through two
-// identically initialized "worlds" — one loaded with the threaded-code
-// compiler (the default), one with NoJIT — and require bit-identical
-// behavior: load outcome, verdicts, ExecStats, error strings, packet
-// mutations, map contents, and instret/runs charging.
+// Differential harness: run the same instruction stream through three
+// identically initialized "worlds" — the interpreter on the raw verified
+// stream, the threaded-code compiler at -O0 (NoOpt), and the optimizing
+// pipeline at -O1 (the default) — and require identical observable
+// behavior: load outcome, verdicts, error strings, packet mutations, map
+// contents, and helper/tail-call accounting. Full ExecStats and
+// instret/runs charging are compared where the executed stream is the
+// same (interpreter vs -O0); -O1 may legitimately retire fewer
+// instructions, which is the entire point of the optimizer.
 
 type diffWorld struct {
 	table   *MapTable
@@ -28,7 +32,7 @@ type diffWorld struct {
 // buildDiffWorld registers an array map (fd 3), a hash map (fd 4), and a
 // prog array (fd 5, slot 1 populated) so generated programs can exercise
 // lookups, updates, and tail calls.
-func buildDiffWorld(insns []Instruction, nojit bool) *diffWorld {
+func buildDiffWorld(insns []Instruction, nojit, noopt bool) *diffWorld {
 	w := &diffWorld{
 		arr:     MustNewMap(MapSpec{Name: "dfarr", Type: MapArray, KeySize: 4, ValueSize: 8, MaxEntries: 8}),
 		hash:    MustNewMap(MapSpec{Name: "dfhash", Type: MapHash, KeySize: 4, ValueSize: 8, MaxEntries: 16}),
@@ -46,11 +50,11 @@ func buildDiffWorld(insns []Instruction, nojit bool) *diffWorld {
 	w.table.Register(w.arr)     // fd 3
 	w.table.Register(w.hash)    // fd 4
 	w.table.Register(w.progArr) // fd 5
-	w.leaf = MustLoad("dleaf", []Instruction{MovImm(R0, 77), Exit()}, LoadOptions{NoJIT: nojit})
+	w.leaf = MustLoad("dleaf", []Instruction{MovImm(R0, 77), Exit()}, LoadOptions{NoJIT: nojit, NoOpt: noopt})
 	if err := w.progArr.UpdateProg(1, w.leaf); err != nil {
 		panic(err)
 	}
-	w.prog, w.loadErr = Load("dprog", insns, LoadOptions{MapTable: w.table, Budget: 50_000, NoJIT: nojit})
+	w.prog, w.loadErr = Load("dprog", insns, LoadOptions{MapTable: w.table, Budget: 50_000, NoJIT: nojit, NoOpt: noopt})
 	return w
 }
 
@@ -86,72 +90,92 @@ var diffPackets = [][]byte{
 	make([]byte, 200),
 }
 
-// runDifferential drives both worlds through every packet and fails on the
-// first divergence. It reports whether the program loaded.
+// runDifferential drives all three worlds through every packet and fails
+// on the first divergence. It reports whether the program loaded.
 func runDifferential(t *testing.T, insns []Instruction) bool {
 	t.Helper()
-	jit := buildDiffWorld(insns, false)
-	interp := buildDiffWorld(insns, true)
+	interp := buildDiffWorld(insns, true, true) // raw stream, interpreter
+	jit := buildDiffWorld(insns, false, true)   // raw stream, threaded code (-O0)
+	opt := buildDiffWorld(insns, false, false)  // optimized stream, threaded code (-O1)
 
-	if errString(jit.loadErr) != errString(interp.loadErr) {
-		t.Fatalf("load divergence:\n jit:    %v\n interp: %v\n%s", jit.loadErr, interp.loadErr, DisassembleProgram(insns))
+	if errString(jit.loadErr) != errString(interp.loadErr) || errString(opt.loadErr) != errString(interp.loadErr) {
+		t.Fatalf("load divergence:\n jit:    %v\n opt:    %v\n interp: %v\n%s",
+			jit.loadErr, opt.loadErr, interp.loadErr, DisassembleProgram(insns))
 	}
 	if jit.loadErr != nil {
 		return false
 	}
-	if !jit.prog.Compiled() {
+	if !jit.prog.Compiled() || !opt.prog.Compiled() {
 		t.Fatalf("default load did not compile")
 	}
 	if interp.prog.Compiled() {
 		t.Fatalf("NoJIT load compiled anyway")
 	}
+	if jit.prog.Optimized() {
+		t.Fatalf("NoOpt load optimized anyway")
+	}
 
-	envJ, envI := diffEnv(), diffEnv()
+	envJ, envI, envO := diffEnv(), diffEnv(), diffEnv()
 	for pi, pkt := range diffPackets {
 		pktJ := append([]byte(nil), pkt...)
 		pktI := append([]byte(nil), pkt...)
+		pktO := append([]byte(nil), pkt...)
 		ctxJ := &Ctx{Packet: pktJ, Hash: uint32(pi) * 0x9e37, Port: 9000 + uint32(pi), Queue: uint32(pi)}
 		ctxI := &Ctx{Packet: pktI, Hash: uint32(pi) * 0x9e37, Port: 9000 + uint32(pi), Queue: uint32(pi)}
+		ctxO := &Ctx{Packet: pktO, Hash: uint32(pi) * 0x9e37, Port: 9000 + uint32(pi), Queue: uint32(pi)}
 
 		retJ, stJ, errJ := jit.prog.RunRet64(ctxJ, envJ)
 		retI, stI, errI := interp.prog.RunRet64(ctxI, envI)
+		retO, stO, errO := opt.prog.RunRet64(ctxO, envO)
 
-		if errString(errJ) != errString(errI) {
-			t.Fatalf("pkt %d error divergence:\n jit:    %v\n interp: %v\n%s", pi, errJ, errI, jit.prog.Disassemble())
+		if errString(errJ) != errString(errI) || errString(errO) != errString(errI) {
+			t.Fatalf("pkt %d error divergence:\n jit:    %v\n opt:    %v\n interp: %v\n%s", pi, errJ, errO, errI, opt.prog.Disassemble())
 		}
-		if errJ == nil && retJ != retI {
-			t.Fatalf("pkt %d R0 divergence: jit %#x interp %#x\n%s", pi, retJ, retI, jit.prog.Disassemble())
+		if errJ == nil && (retJ != retI || retO != retI) {
+			t.Fatalf("pkt %d R0 divergence: jit %#x opt %#x interp %#x\n%s", pi, retJ, retO, retI, opt.prog.Disassemble())
 		}
 		if stJ != stI {
 			t.Fatalf("pkt %d stats divergence: jit %+v interp %+v\n%s", pi, stJ, stI, jit.prog.Disassemble())
 		}
-		if !bytes.Equal(pktJ, pktI) {
-			t.Fatalf("pkt %d packet mutation divergence\n jit:    %x\n interp: %x\n%s", pi, pktJ, pktI, jit.prog.Disassemble())
+		// The optimizer may retire fewer instructions, but helper calls and
+		// tail calls are never added, removed, or reordered.
+		if stO.Helpers != stI.Helpers || stO.TailCalls != stI.TailCalls {
+			t.Fatalf("pkt %d helper/tailcall divergence: opt %+v interp %+v\n%s", pi, stO, stI, opt.prog.Disassemble())
+		}
+		if !bytes.Equal(pktJ, pktI) || !bytes.Equal(pktO, pktI) {
+			t.Fatalf("pkt %d packet mutation divergence\n jit:    %x\n opt:    %x\n interp: %x\n%s", pi, pktJ, pktO, pktI, opt.prog.Disassemble())
 		}
 	}
 
-	// Map contents must have evolved identically.
+	// Map contents must have evolved identically in all three worlds.
 	for k := uint32(0); k < 8; k++ {
 		vj, okj := jit.arr.LookupUint64(k)
 		vi, oki := interp.arr.LookupUint64(k)
-		if vj != vi || okj != oki {
-			t.Fatalf("array key %d divergence: jit (%d,%v) interp (%d,%v)\n%s", k, vj, okj, vi, oki, jit.prog.Disassemble())
+		vo, oko := opt.arr.LookupUint64(k)
+		if vj != vi || okj != oki || vo != vi || oko != oki {
+			t.Fatalf("array key %d divergence: jit (%d,%v) opt (%d,%v) interp (%d,%v)\n%s", k, vj, okj, vo, oko, vi, oki, opt.prog.Disassemble())
 		}
 	}
 	for k := uint32(0); k < 16; k++ {
 		vj, okj := jit.hash.LookupUint64(k)
 		vi, oki := interp.hash.LookupUint64(k)
-		if vj != vi || okj != oki {
-			t.Fatalf("hash key %d divergence: jit (%d,%v) interp (%d,%v)\n%s", k, vj, okj, vi, oki, jit.prog.Disassemble())
+		vo, oko := opt.hash.LookupUint64(k)
+		if vj != vi || okj != oki || vo != vi || oko != oki {
+			t.Fatalf("hash key %d divergence: jit (%d,%v) opt (%d,%v) interp (%d,%v)\n%s", k, vj, okj, vo, oko, vi, oki, opt.prog.Disassemble())
 		}
 	}
 
-	// Table 2 charging (instret/runs) must be dispatch-independent.
+	// Table 2 charging (instret/runs) must be dispatch-independent when the
+	// executed stream is the same; runs and faults always agree.
 	if jit.prog.Stats() != interp.prog.Stats() {
 		t.Fatalf("program charging divergence: jit %+v interp %+v\n%s", jit.prog.Stats(), interp.prog.Stats(), jit.prog.Disassemble())
 	}
 	if jit.leaf.Stats() != interp.leaf.Stats() {
 		t.Fatalf("leaf charging divergence: jit %+v interp %+v", jit.leaf.Stats(), interp.leaf.Stats())
+	}
+	sO, sI := opt.prog.Stats(), interp.prog.Stats()
+	if sO.Runs != sI.Runs || sO.Faults != sI.Faults {
+		t.Fatalf("opt run/fault charging divergence: opt %+v interp %+v\n%s", sO, sI, opt.prog.Disassemble())
 	}
 	return true
 }

@@ -1,0 +1,53 @@
+package ebpf
+
+import "fmt"
+
+// lower.go: re-linearize the block graph back into bytecode the JIT (and
+// the interpreter, and the verifier's re-check) consume unchanged. Blocks
+// keep their original layout order, so lowering only assigns fresh slot
+// indices and recomputes relative jump offsets against them.
+
+// lower emits the instruction stream for pr. It fails (rather than emits
+// garbage) if a block layout invariant was broken by a pass — a live block
+// ending in fall-through must be physically followed by its fallTo.
+func (pr *irProg) lower() ([]Instruction, error) {
+	starts := make(map[*irBlock]int, len(pr.blocks))
+	off := 0
+	for _, b := range pr.blocks {
+		starts[b] = off
+		for _, ii := range b.insns {
+			off += ii.slots()
+		}
+	}
+
+	out := make([]Instruction, 0, off)
+	for bi, b := range pr.blocks {
+		if b.fallTo != nil {
+			if bi+1 >= len(pr.blocks) || pr.blocks[bi+1] != b.fallTo {
+				return nil, fmt.Errorf("ebpf: lower: block %d fall-through is not the next block", bi)
+			}
+		}
+		for _, ii := range b.insns {
+			ins := ii.ins
+			if ii.target != nil {
+				tpc, ok := starts[ii.target]
+				if !ok {
+					return nil, fmt.Errorf("ebpf: lower: insn %d jumps to a removed block", ii.pc)
+				}
+				rel := tpc - (len(out) + 1)
+				if rel < -32768 || rel > 32767 {
+					return nil, fmt.Errorf("ebpf: lower: insn %d: jump offset %d out of int16 range", ii.pc, rel)
+				}
+				ins.Off = int16(rel)
+			}
+			out = append(out, ins)
+			if ii.wide {
+				out = append(out, ii.hi)
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("ebpf: lower: empty program")
+	}
+	return out, nil
+}

@@ -35,6 +35,16 @@ type Program struct {
 	// program can never read registers or stack bytes it didn't write).
 	noVerify bool
 
+	// facts is the verifier's per-PC fact table for insns (the stream
+	// actually executed). Refreshed by the post-optimization re-verify, so
+	// it always describes the current stream; nil for NoVerify loads.
+	facts *Facts
+	// opt marks that insns is the optimizer's output; origInsns then holds
+	// the verified pre-optimization stream and optRep the pass report.
+	opt       bool
+	origInsns []Instruction
+	optRep    *OptReport
+
 	// Accounting for Table 2.
 	runs    atomic.Uint64
 	instret atomic.Uint64
@@ -63,6 +73,11 @@ type LoadOptions struct {
 	// interpreter. The SYRUP_EBPF_NOJIT environment variable forces this
 	// process-wide.
 	NoJIT bool
+	// NoOpt skips the optimizing middle-end (opt.go); the program runs the
+	// verified bytecode verbatim. The SYRUP_EBPF_NOOPT environment variable
+	// forces this process-wide — the field-bisection escape hatch, exactly
+	// like NoJIT for the compiler.
+	NoOpt bool
 }
 
 // Load resolves map references and verifies the program.
@@ -105,14 +120,59 @@ func Load(name string, insns []Instruction, opts LoadOptions) (*Program, error) 
 		if budget <= 0 {
 			budget = DefaultVerifierBudget
 		}
-		if err := verify(p, budget); err != nil {
+		facts, err := verify(p, budget)
+		if err != nil {
 			return nil, fmt.Errorf("ebpf: %s: verifier: %w", name, err)
+		}
+		p.facts = facts
+		if !opts.NoOpt && !optDisabledByEnv() {
+			p.optimize(budget)
 		}
 	}
 	if !opts.NoJIT && !jitDisabledByEnv() {
 		p.code = compile(p)
 	}
 	return p, nil
+}
+
+// optimize runs the fact-driven pass pipeline over the freshly verified
+// stream and, following MOAT's check-don't-trust rule, re-verifies the
+// result before adopting it. Any failure — a pass bailing out, or the
+// re-verifier rejecting the rewritten stream — leaves the program on the
+// verified original, so the optimizer can never make a load fail.
+func (p *Program) optimize(budget int) {
+	optimized, rep, err := Optimize(p.insns, p.facts)
+	if err != nil {
+		return
+	}
+	changed := rep.Removed() != 0
+	for _, pass := range rep.Passes {
+		changed = changed || pass.Rewritten > 0
+	}
+	if !changed {
+		// Nothing rewritten: the stream (and its fact table) stand as
+		// verified. Opt mode still turns on the fact-driven JIT
+		// specializations and widened fusion at compile below.
+		p.opt = true
+		p.optRep = rep
+		ctrOptPrograms.Inc()
+		return
+	}
+	cand := &Program{name: p.name, insns: optimized, maps: p.maps}
+	cfacts, err := verify(cand, budget)
+	if err != nil {
+		ctrOptReverifyRejects.Inc()
+		return
+	}
+	p.origInsns = p.insns
+	p.insns = optimized
+	p.facts = cfacts
+	p.optRep = rep
+	p.opt = true
+	ctrOptPrograms.Inc()
+	if d := rep.Removed(); d > 0 {
+		ctrOptInsnsRemoved.Add(uint64(d))
+	}
 }
 
 // MustLoad is Load that panics on error, for static trusted programs.
@@ -176,5 +236,36 @@ func (p *Program) MeanInsnsPerRun() float64 {
 	return float64(p.instret.Load()) / float64(r)
 }
 
-// Disassemble renders the loaded (map-resolved) instruction stream.
+// Disassemble renders the loaded (map-resolved) instruction stream — the
+// optimized form when the optimizer ran.
 func (p *Program) Disassemble() string { return DisassembleProgram(p.insns) }
+
+// Optimized reports whether the middle-end rewrote this program.
+func (p *Program) Optimized() bool { return p.opt }
+
+// OptReport returns the optimizer's pass report, or nil when the program
+// was not optimized.
+func (p *Program) OptReport() *OptReport { return p.optRep }
+
+// OrigLen reports the pre-optimization instruction count (equal to Len()
+// when the optimizer did not run or did not change the program).
+func (p *Program) OrigLen() int {
+	if p.origInsns != nil {
+		return len(p.origInsns)
+	}
+	return len(p.insns)
+}
+
+// DisassembleOrig renders the pre-optimization stream.
+func (p *Program) DisassembleOrig() string {
+	if p.origInsns != nil {
+		return DisassembleProgram(p.origInsns)
+	}
+	return DisassembleProgram(p.insns)
+}
+
+// Facts returns the verifier's per-PC fact table for the executed stream
+// (nil for NoVerify loads). The table always matches the current insns:
+// after optimization it is the re-verifier's table for the rewritten
+// stream, never the stale pre-optimization one.
+func (p *Program) Facts() *Facts { return p.facts }

@@ -445,6 +445,114 @@ func (f *AsmFile) Instantiate(existing map[string]*Map) ([]Instruction, map[stri
 	return insns, maps, table, nil
 }
 
+// Text renders the assembled file back to .syr source that re-assembles
+// to the identical instruction stream and map declarations — the
+// disassembler half of the round-trip contract (`syrup-policy disasm`).
+// Numeric jump offsets become generated labels so the output survives
+// editing and re-assembly.
+func (f *AsmFile) Text() string {
+	return programText(f.Insns, f.Maps, func(ref int32) string {
+		if int(ref) >= 0 && int(ref) < len(f.MapRefs) {
+			return f.MapRefs[ref]
+		}
+		return ""
+	})
+}
+
+// TextSource renders a loaded program (its executed, possibly optimized
+// stream) back to assemblable .syr source. Pseudo-map immediates index
+// p.maps after Load, so references render as map(name) and declarations
+// are reconstructed from the live map specs.
+func (p *Program) TextSource() string {
+	var specs []MapSpec
+	seen := map[string]bool{}
+	for _, m := range p.maps {
+		s := m.Spec()
+		if !seen[s.Name] {
+			seen[s.Name] = true
+			specs = append(specs, s)
+		}
+	}
+	return programText(p.insns, specs, func(ref int32) string {
+		if int(ref) >= 0 && int(ref) < len(p.maps) {
+			return p.maps[ref].Spec().Name
+		}
+		return ""
+	})
+}
+
+// programText is the shared renderer: map declarations, then the
+// instruction stream with L<pc> labels at every jump target.
+func programText(insns []Instruction, maps []MapSpec, mapName func(int32) string) string {
+	var sb strings.Builder
+	for _, s := range maps {
+		fmt.Fprintf(&sb, ".map %s %s %d %d %d\n", s.Name, s.Type, s.KeySize, s.ValueSize, s.MaxEntries)
+	}
+	if len(maps) > 0 {
+		sb.WriteString("\n")
+	}
+	targets := jumpTargets(insns)
+	label := func(pc int) string { return fmt.Sprintf("L%d", pc) }
+	for i := 0; i < len(insns); i++ {
+		if targets[i] {
+			fmt.Fprintf(&sb, "%s:\n", label(i))
+		}
+		ins := insns[i]
+		if ins.IsLDDW() && i+1 < len(insns) {
+			if ins.Src == PseudoMapFD {
+				fmt.Fprintf(&sb, "  r%d = map(%s)\n", ins.Dst, mapName(ins.Imm))
+			} else {
+				fmt.Fprintf(&sb, "  r%d = %d ll\n", ins.Dst, Imm64(ins, insns[i+1]))
+			}
+			i++
+			continue
+		}
+		cls := ins.Class()
+		if (cls == ClassJMP || cls == ClassJMP32) && ins.Op&0xf0 != JmpExit && ins.Op&0xf0 != JmpCall {
+			// Re-render the jump against its label instead of the numeric
+			// offset Disassemble prints.
+			text := Disassemble(ins, nil)
+			tgt := i + 1 + int(ins.Off)
+			if idx := strings.LastIndex(text, "goto "); idx >= 0 && tgt >= 0 && tgt < len(insns) {
+				text = text[:idx] + "goto " + label(tgt)
+			}
+			fmt.Fprintf(&sb, "  %s\n", text)
+			continue
+		}
+		fmt.Fprintf(&sb, "  %s\n", Disassemble(ins, nil))
+	}
+	// A jump target one past the last instruction, or inside an LDDW pair,
+	// has no slot to label. Reachable code in a verified program cannot
+	// produce either, but dead code after an early exit escapes the
+	// verifier's analysis and can — textRenderable detects those streams.
+	return sb.String()
+}
+
+// textRenderable reports whether programText can represent the stream
+// exactly: no jump may target the high half of an LDDW pair or the slot
+// one past the end, since neither has a line to label. Reachable code in
+// a verified program always renders; only unreachable garbage (which the
+// optimizer also refuses to lift) can fail this.
+func textRenderable(insns []Instruction) bool {
+	for i, ins := range insns {
+		cls := ins.Class()
+		if cls != ClassJMP && cls != ClassJMP32 {
+			continue
+		}
+		if op := ins.Op & 0xf0; op == JmpExit || op == JmpCall {
+			continue
+		}
+		tgt := i + 1 + int(ins.Off)
+		if tgt < 0 || tgt >= len(insns) {
+			return false
+		}
+		if tgt > 0 && insns[tgt-1].IsLDDW() {
+			return false
+		}
+	}
+	return true
+}
+
 // AssembleAndLoad is the one-call path from .syr source to a verified
 // Program: assemble, instantiate maps, load. existing maps are shared by
 // name; the returned map set includes them.

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"testing"
+
+	"syrup/internal/apps/mica"
+	"syrup/internal/ebpf"
+	"syrup/internal/policy"
+	"syrup/internal/workload"
+)
+
+// The optimizer's contract with the figure pipelines: policies compiled at
+// -O1 (the default) must produce bit-identical simulation results to -O0,
+// because the netstack charges a fixed per-run policy cost and the
+// optimizer never changes a verdict, a helper call, or a map effect. These
+// gates run the same slices as the batch differentials with the optimizer
+// toggled through its escape hatch.
+
+// withOptLevels runs fn at -O0 (SYRUP_EBPF_NOOPT=1) and -O1 (default) and
+// asserts the digests match. Policies are loaded inside fn, so the env
+// toggle takes effect per invocation.
+func withOptLevels(t *testing.T, label string, fn func() string) {
+	t.Helper()
+	t.Setenv(ebpf.EnvNoOpt, "1")
+	ref := fn()
+	t.Setenv(ebpf.EnvNoOpt, "")
+	if got := fn(); got != ref {
+		t.Fatalf("%s diverged between -O0 and -O1:\n--- -O0\n%s--- -O1\n%s", label, ref, got)
+	}
+}
+
+// TestOptDifferentialFig2Slice: vanilla vs round-robin reuseport.
+func TestOptDifferentialFig2Slice(t *testing.T) {
+	for _, pol := range []SocketPolicy{PolicyVanilla, PolicyRoundRobin} {
+		withOptLevels(t, "fig2/"+string(pol), func() string {
+			r := runRocksPoint(rocksPoint{
+				Seed: 1007, Load: 300_000, NumCPUs: 6, NumThreads: 6,
+				PinToCores: true, Flows: 50,
+				Classes: []workload.Class{{Name: "GET", Weight: 1, Type: policy.ReqGET}},
+				Policy:  pol, Windows: diffWindows,
+			})
+			return statsDigest(r)
+		})
+	}
+}
+
+// TestOptDifferentialFig6Slice: the map-heavy scan_avoid and sita policies,
+// where the optimizer actually rewrites code.
+func TestOptDifferentialFig6Slice(t *testing.T) {
+	for _, pol := range []SocketPolicy{PolicyScanAvoid, PolicySITA} {
+		withOptLevels(t, "fig6/"+string(pol), func() string {
+			r := runRocksPoint(rocksPoint{
+				Seed: 2011, Load: 200_000, NumCPUs: 6, NumThreads: 6,
+				PinToCores: true, Flows: 50,
+				Classes: fig6Mix, Policy: pol, Windows: diffWindows,
+			})
+			return statsDigest(r)
+		})
+	}
+}
+
+// TestOptDifferentialFig8Slice: thread scheduling stacked on steering.
+func TestOptDifferentialFig8Slice(t *testing.T) {
+	withOptLevels(t, "fig8/scan_avoid+threadsched", func() string {
+		r := runRocksPoint(rocksPoint{
+			Seed: 47, Load: 120_000, NumCPUs: 6, NumThreads: 36,
+			PinToCores: false, Classes: fig8Mix,
+			Policy: PolicyScanAvoid, ThreadSched: true, Windows: diffWindows,
+		})
+		return statsDigest(r)
+	})
+}
+
+// TestOptDifferentialFig9Slice: MICA steering at kernel and NIC layers.
+func TestOptDifferentialFig9Slice(t *testing.T) {
+	for _, mode := range []mica.Mode{mica.ModeSyrupSW, mica.ModeSyrupHW} {
+		withOptLevels(t, "fig9/"+mode.String(), func() string {
+			r := runMicaPoint(micaPoint{
+				Seed: 53, Load: 800_000, Mode: mode, GetFrac: 0.5,
+				Windows: diffWindows,
+			})
+			return statsDigest(r)
+		})
+	}
+}

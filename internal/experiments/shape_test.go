@@ -241,9 +241,10 @@ func TestShapeTable2(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 6 {
+	if len(rows) != 8 {
 		t.Fatalf("rows = %d", len(rows))
 	}
+	reduced := 0
 	for _, r := range rows {
 		if r.LoC == 0 || r.LoC > 60 {
 			t.Errorf("%s LoC = %d", r.Policy, r.LoC)
@@ -251,12 +252,22 @@ func TestShapeTable2(t *testing.T) {
 		if r.Instructions == 0 || r.Instructions > 120 {
 			t.Errorf("%s instructions = %d", r.Policy, r.Instructions)
 		}
+		if r.UnoptInstructions < r.Instructions {
+			t.Errorf("%s optimizer grew the stream: %d -> %d", r.Policy, r.UnoptInstructions, r.Instructions)
+		}
+		// The optimizer must recover >=15% on the naive first-draft policies.
+		if float64(r.UnoptInstructions-r.Instructions) >= 0.15*float64(r.UnoptInstructions) {
+			reduced++
+		}
 		if r.MeanExecInsns <= 0 || r.MeanExecInsns > float64(r.Instructions)*8 {
 			t.Errorf("%s exec insns = %.1f", r.Policy, r.MeanExecInsns)
 		}
 		if r.WallNanos <= 0 || r.WallNanos > 20_000 {
 			t.Errorf("%s interp cost = %.0fns", r.Policy, r.WallNanos)
 		}
+	}
+	if reduced < 2 {
+		t.Errorf("only %d policies saw a >=15%% static reduction", reduced)
 	}
 	if FormatTable2(rows) == "" {
 		t.Fatal("empty format")

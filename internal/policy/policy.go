@@ -27,11 +27,16 @@ const (
 	NameSITA       = "sita"
 	NameToken      = "token"
 	NameMicaHash   = "mica_hash"
+	// NamePrio and NameUserWeight are written first-draft style on purpose:
+	// they document what the optimizing middle-end recovers from naive
+	// policy code (see DESIGN.md "Optimizer" and `syrup-policy doctor`).
+	NamePrio       = "prio"
+	NameUserWeight = "user_weight"
 )
 
 // Names lists the built-in policies.
 func Names() []string {
-	return []string{NameHash, NameRoundRobin, NameScanAvoid, NameSITA, NameToken, NameMicaHash}
+	return []string{NameHash, NameRoundRobin, NameScanAvoid, NameSITA, NameToken, NameMicaHash, NamePrio, NameUserWeight}
 }
 
 // Source returns the .syr source of a built-in policy.

@@ -112,6 +112,11 @@ type HostConfig struct {
 	// Quarantine, when non-nil, arms syrupd's fault watchdog with the
 	// given thresholds (zero fields take defaults).
 	Quarantine *syrupd.QuarantineConfig
+	// PolicyNoOpt deploys this host's policies at -O0, skipping the
+	// optimizing middle-end (the per-host form of the SYRUP_EBPF_NOOPT
+	// escape hatch, mirroring NoJIT). Results are bit-identical either
+	// way; use it to bisect a suspect optimization in the field.
+	PolicyNoOpt bool
 }
 
 // TraceRecorder is the cross-stack span recorder (see internal/trace).
@@ -250,6 +255,9 @@ func TryNewHost(cfg HostConfig) (*Host, error) {
 	}
 	if cfg.Quarantine != nil {
 		h.Daemon.EnableQuarantine(*cfg.Quarantine)
+	}
+	if cfg.PolicyNoOpt {
+		h.Daemon.SetPolicyNoOpt(true)
 	}
 	return h, nil
 }

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race lint-hooks trace-check alloc-gates chaos cluster-diff opt-diff check bench bench-cluster bench-dispatch bench-engine bench-datapath bench-policy fuzz clean
+.PHONY: build test vet race lint-hooks lint-metrics trace-check alloc-gates chaos cluster-diff opt-diff obs-diff check bench bench-cluster bench-dispatch bench-engine bench-datapath bench-policy bench-profile fuzz clean
 
 build:
 	$(GO) build ./...
@@ -59,6 +59,21 @@ cluster-diff:
 	$(GO) test ./internal/cluster/ ./internal/par/
 	$(GO) test -run 'TestCluster' ./internal/experiments/
 
+# Metric names must be prometheus-style snake_case: lowercase letters,
+# digits, and underscores, starting with a letter. The grep matches every
+# string-literal name registered on a counter, histogram, or sampler
+# series and rejects anything outside that alphabet (dashes, dots,
+# camelCase). See DESIGN.md "Telemetry plane".
+lint-metrics:
+	@bad=$$(grep -rnoE '(NewCounter|RegisterHistogram|\.Gauge|\.Rate|\.Histogram)\("[^"]*"' \
+		--include='*.go' internal/ cmd/ syrup.go \
+		| grep -vE '\("[a-z][a-z0-9_]*"' || true); \
+	if [ -n "$$bad" ]; then \
+		echo 'lint-metrics: metric names must be snake_case ([a-z][a-z0-9_]*):'; \
+		echo "$$bad"; \
+		exit 1; \
+	fi
+
 # Optimizer gate (see DESIGN.md "Optimizer"): the three-way differential
 # (interpreter vs -O0 threaded code vs -O1 optimized) over random programs
 # and the fuzz seed corpus, the text round-trip suite syrup-policy disasm
@@ -68,10 +83,20 @@ opt-diff:
 	$(GO) test -run 'TestDifferential|FuzzJITMatchesInterp|TestTextRoundTrip|TestOpt' ./internal/ebpf/
 	$(GO) test -run 'TestOptDifferential' ./internal/experiments/
 
-# check is the PR gate: build, vet, lint, race-test the VM + hooks +
+# Telemetry gate (see DESIGN.md "Telemetry plane"): the sampler rides the
+# engine's passive hook — figure-slice digests (fig2/6/8/9 + the fleet
+# scenario) must be bit-identical with the sampler off vs on, the sampler
+# hot path must stay zero-alloc, and the profiling suite must show
+# identical hit counts across interp and JIT.
+obs-diff:
+	$(GO) test ./internal/obs/ ./internal/sim/
+	$(GO) test -run 'TestProfile|TestAnnotatedDisasm' ./internal/ebpf/
+	$(GO) test -run 'TestObsDifferential' ./internal/experiments/
+
+# check is the PR gate: build, vet, lints, race-test the VM + hooks +
 # observability, alloc gates, chaos suite, cluster determinism gate,
-# optimizer differential gate, then the full suite.
-check: build vet lint-hooks race trace-check alloc-gates chaos cluster-diff opt-diff test
+# optimizer differential gate, telemetry gate, then the full suite.
+check: build vet lint-hooks lint-metrics race trace-check alloc-gates chaos cluster-diff opt-diff obs-diff test
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -111,6 +136,12 @@ bench-policy:
 	SYRUP_EBPF_NOOPT=1 $(GO) test ./internal/ebpf/ -run '^$$' -bench BenchmarkDispatch -benchmem
 	@echo '--- -O1 (default)'
 	$(GO) test ./internal/ebpf/ -run '^$$' -bench BenchmarkDispatch -benchmem
+
+# Profiling overhead margin (see EXPERIMENTS.md "Profiling overhead"): the
+# dispatch shapes with per-instruction profiling off vs on. Profiling is
+# opt-in per deployment and SYRUP_EBPF_NOPROFILE vetoes it process-wide.
+bench-profile:
+	$(GO) test ./internal/ebpf/ -run '^$$' -bench BenchmarkDispatchProfile -benchmem
 
 # Extended differential fuzzing of the compiled dispatch path against the
 # interpreter oracle (the seed corpus already runs under plain `go test`).

@@ -6,7 +6,7 @@
 //
 //	syrup-policy build   [-D NAME=VALUE ...] [-O0] [-o out.bin] <file.syr | builtin:NAME>
 //	syrup-policy disasm  [-D NAME=VALUE ...] [-O0] <file.syr | builtin:NAME>
-//	syrup-policy doctor  [-D NAME=VALUE ...] <file.syr | builtin:NAME>
+//	syrup-policy doctor  [-D NAME=VALUE ...] [-profile N] <file.syr | builtin:NAME>
 //	syrup-policy scaffold [name]
 //
 // build compiles and verifies, printing a summary (and with -o the
@@ -14,13 +14,16 @@
 // the executed stream rendered back to assemblable .syr source — the
 // output re-assembles to bit-identical bytecode (gated by the round-trip
 // tests). doctor runs the optimizing middle-end and prints the per-pass
-// instruction deltas plus the verifier fact justifying each elision.
-// scaffold prints a commented starter policy to build from.
+// instruction deltas plus the verifier fact justifying each elision; with
+// -profile N it additionally executes N deterministic synthetic packets
+// under per-instruction profiling and prints the hotness-annotated
+// disassembly. scaffold prints a commented starter policy to build from.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -57,7 +60,8 @@ commands:
 flags (build/disasm/doctor):
   -D NAME=VALUE   deploy-time define (repeatable)
   -O0             load with the optimizing middle-end off (build/disasm)
-  -o file         write the loaded bytecode in wire format (build)`)
+  -o file         write the loaded bytecode in wire format (build)
+  -profile N      run N synthetic packets and print hotness-annotated disasm (doctor)`)
 	os.Exit(2)
 }
 
@@ -83,7 +87,7 @@ func source(arg string) (name, src string) {
 }
 
 // load runs the full deploy-time pipeline on one source.
-func load(name, src string, defines map[string]int64, noOpt bool) (*ebpf.AsmFile, *ebpf.Program) {
+func load(name, src string, defines map[string]int64, noOpt, profile bool) (*ebpf.AsmFile, *ebpf.Program) {
 	f, err := ebpf.Assemble(src, defines)
 	if err != nil {
 		fatal(fmt.Errorf("assemble: %w", err))
@@ -92,7 +96,7 @@ func load(name, src string, defines map[string]int64, noOpt bool) (*ebpf.AsmFile
 	if err != nil {
 		fatal(err)
 	}
-	prog, err := ebpf.Load(name, insns, ebpf.LoadOptions{MapTable: table, NoOpt: noOpt})
+	prog, err := ebpf.Load(name, insns, ebpf.LoadOptions{MapTable: table, NoOpt: noOpt, Profile: profile})
 	if err != nil {
 		fatal(err)
 	}
@@ -110,6 +114,7 @@ func main() {
 	fs.Var(defines, "D", "deploy-time define NAME=VALUE (repeatable)")
 	noOpt := fs.Bool("O0", false, "load with the optimizing middle-end off")
 	out := fs.String("o", "", "write the loaded bytecode in wire format to `file` (build)")
+	profile := fs.Int("profile", 0, "doctor: run `n` deterministic synthetic packets with per-instruction profiling and print the hotness-annotated disassembly (0 = off)")
 
 	switch cmd {
 	case "build", "disasm", "doctor":
@@ -125,6 +130,10 @@ func main() {
 			runDisasm(name, src, defines, *noOpt)
 		case "doctor":
 			runDoctor(name, src, defines)
+			if *profile > 0 {
+				fmt.Println()
+				runProfile(os.Stdout, name, src, defines, *profile)
+			}
 		}
 	case "scaffold":
 		fs.Parse(args)
@@ -139,7 +148,7 @@ func main() {
 }
 
 func runBuild(name, src string, defines map[string]int64, noOpt bool, out string) {
-	f, prog := load(name, src, defines, noOpt)
+	f, prog := load(name, src, defines, noOpt, false)
 	level := "-O1"
 	if !prog.Optimized() {
 		level = "-O0"
@@ -165,12 +174,12 @@ func runBuild(name, src string, defines map[string]int64, noOpt bool, out string
 }
 
 func runDisasm(name, src string, defines map[string]int64, noOpt bool) {
-	_, prog := load(name, src, defines, noOpt)
+	_, prog := load(name, src, defines, noOpt, false)
 	fmt.Print(prog.TextSource())
 }
 
 func runDoctor(name, src string, defines map[string]int64) {
-	_, prog := load(name, src, defines, false)
+	_, prog := load(name, src, defines, false, false)
 	rep := prog.OptReport()
 	if rep == nil {
 		fmt.Printf("%s: optimizer did not run (disabled or rejected); program runs the verified original\n", name)
@@ -179,6 +188,34 @@ func runDoctor(name, src string, defines map[string]int64) {
 	fmt.Printf("%s:\n%s", name, rep)
 	if !prog.Optimized() {
 		fmt.Println("(no pass changed the stream; the verified original is executed)")
+	}
+}
+
+// runProfile loads the policy with per-instruction profiling, drives it
+// with a deterministic synthetic packet mix (GET/SCAN/PUT cycling over
+// flows, queues, and users — the same header layout the scaffold
+// documents), and prints the hotness-annotated disassembly.
+func runProfile(w io.Writer, name, src string, defines map[string]int64, runs int) {
+	_, prog := load(name, src, defines, false, true)
+	if !prog.Profiling() {
+		fmt.Fprintf(w, "%s: profiling vetoed (%s is set)\n", name, ebpf.EnvNoProfile)
+		return
+	}
+	types := []uint64{policy.ReqGET, policy.ReqSCAN, policy.ReqPUT}
+	faults := 0
+	for i := 0; i < runs; i++ {
+		keyHash := uint32(i) * 2654435761
+		payload := policy.EncodeHeader(types[i%len(types)], uint32(i%4), keyHash, uint64(i))
+		wire := make([]byte, 8+len(payload)) // 8-byte UDP header, then the app header
+		copy(wire[8:], payload)
+		ctx := &ebpf.Ctx{Packet: wire, Hash: keyHash, Port: 9000, Queue: uint32(i % 4)}
+		if _, _, err := prog.Run(ctx, nil); err != nil {
+			faults++
+		}
+	}
+	fmt.Fprint(w, prog.AnnotatedDisasm())
+	if faults > 0 {
+		fmt.Fprintf(w, "; %d of %d synthetic runs faulted\n", faults, runs)
 	}
 }
 

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"syrup"
+	"syrup/internal/cluster"
+	"syrup/internal/obs"
+	"syrup/internal/sim"
+	"syrup/internal/syrupd"
+)
+
+// TestRenderRecordedSnapshot: the deterministic path — a committed
+// 4-host FleetSnapshot renders the per-host table, fleet row, SLO burn
+// state, and the hot-policy ranking.
+func TestRenderRecordedSnapshot(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{
+		"-snapshot", filepath.Join("testdata", "fleet.json"),
+		"-slo", "ls_p99:latency_LS_p99_us:500:0.5",
+		"-slo", "drops:drop_rate/rps:0.5:0.5",
+	}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	if !strings.Contains(out, "fleet @ 10.0ms virtual, 4 hosts") {
+		t.Fatalf("missing fleet header:\n%s", out)
+	}
+	for _, host := range []string{"host-00", "host-01", "host-02", "host-03"} {
+		if !strings.Contains(out, host) {
+			t.Fatalf("missing row for %s:\n%s", host, out)
+		}
+	}
+	// FLEET row: summed rps, max p99, summed drop rate, max quarantine.
+	fleetRow := ""
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "FLEET") {
+			fleetRow = line
+		}
+	}
+	for _, want := range []string{"50000", "900.0", "130.0", "60", "1"} {
+		if !strings.Contains(fleetRow, want) {
+			t.Fatalf("FLEET row %q missing %q", fleetRow, want)
+		}
+	}
+	// The linear rps ramp renders as a rising sparkline.
+	if !strings.Contains(out, "▁▂▄▆█") {
+		t.Fatalf("missing rps sparkline:\n%s", out)
+	}
+	// Every merged p99 sample (900µs) violates the 500µs target: burn =
+	// (1/0.5) = 2x on both windows. The drop objective stays ok.
+	if !strings.Contains(out, "ls_p99 short=2.00x long=2.00x n=5 BURNING") {
+		t.Fatalf("missing burning SLO line:\n%s", out)
+	}
+	if !strings.Contains(out, "drops short=0.00x long=0.00x n=5 ok") {
+		t.Fatalf("missing healthy SLO line:\n%s", out)
+	}
+	// Hot policies ranked by profiled nanos: sita (900µs) above
+	// scan_avoid (250µs); sita's hottest slot is pc 0 (argmax tie→first).
+	si := strings.Index(out, "sita")
+	sa := strings.Index(out, "scan_avoid")
+	if si < 0 || sa < 0 || si > sa {
+		t.Fatalf("hot-policy ranking wrong (sita@%d scan_avoid@%d):\n%s", si, sa, out)
+	}
+}
+
+// TestLiveScrapeMatchesRecording: scrape a real 4-host fleet over its
+// syrupd sockets, record the snapshot, and confirm the recorded render is
+// byte-identical to the live one.
+func TestLiveScrapeMatchesRecording(t *testing.T) {
+	c, err := cluster.New(cluster.Config{
+		Hosts: 4, Seed: 42, TableSize: 251,
+		Tune: func(i int, cfg *syrup.HostConfig) {
+			cfg.Telemetry = &obs.Config{}
+			cfg.PolicyProfile = true
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range c.Members {
+		if _, err := m.Host.RegisterApp(1, 1000, 9000); err != nil {
+			t.Fatal(err)
+		}
+		m.Host.Stack.NewUDPSocket(9000, 1, "w0")
+		m.Host.Stack.NewUDPSocket(9000, 1, "w1")
+		host := m.Host
+		host.Obs.Rate("rps", func() float64 { return float64(host.Stack.Stats.Processed) })
+	}
+	// Deploy everywhere through the control plane; the probe bake drives
+	// traffic through each host so series and profiles are non-trivial.
+	rep, err := c.Rollout(cluster.RolloutConfig{
+		App: 1, Hook: syrup.HookSocketSelect, Source: "r0 = 1\nexit\n",
+		Canaries: 4, Bake: 5 * sim.Millisecond,
+	})
+	if err != nil || rep.Aborted {
+		t.Fatalf("rollout failed: %v %+v", err, rep)
+	}
+
+	dir := t.TempDir()
+	var socks []string
+	for _, m := range c.Members {
+		srv := syrupd.NewServer(m.Host.Daemon)
+		path := filepath.Join(dir, m.Name+".sock")
+		if err := srv.ListenUnix(path); err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		socks = append(socks, path)
+	}
+
+	rec := filepath.Join(dir, "fleet.json")
+	var live strings.Builder
+	if err := run([]string{"-sockets", strings.Join(socks, ","), "-record", rec}, &live); err != nil {
+		t.Fatal(err)
+	}
+	var replay strings.Builder
+	if err := run([]string{"-snapshot", rec}, &replay); err != nil {
+		t.Fatal(err)
+	}
+	if live.String() != replay.String() {
+		t.Fatalf("recorded render diverged from live:\n--- live\n%s--- replay\n%s", live.String(), replay.String())
+	}
+	out := live.String()
+	if !strings.Contains(out, "4 hosts") || !strings.Contains(out, "host-03") {
+		t.Fatalf("unexpected live render:\n%s", out)
+	}
+	// Profiling was on fleet-wide, so the hot-policy table is populated.
+	if !strings.Contains(out, "hot policies") {
+		t.Fatalf("no hot policies in live render:\n%s", out)
+	}
+}

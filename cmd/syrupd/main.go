@@ -27,6 +27,7 @@ import (
 	"syrup/internal/ebpf"
 	"syrup/internal/metrics"
 	"syrup/internal/nic"
+	"syrup/internal/obs"
 	"syrup/internal/policy"
 	"syrup/internal/sim"
 	"syrup/internal/syrupd"
@@ -40,13 +41,24 @@ func main() {
 	scanPct := flag.Float64("scan-pct", 0.5, "percent of requests that are SCANs")
 	speed := flag.Float64("speed", 1.0, "virtual seconds simulated per wall second")
 	traceCap := flag.Int("trace", 0, "enable request tracing with a span ring of this capacity (0 = off); query via the trace op")
+	obsPeriodUS := flag.Int("obs-period-us", 1000, "telemetry sampling period in virtual microseconds (0 = no sampler); query via the timeseries and metrics ops")
+	profile := flag.Bool("profile", false, "deploy policies with per-instruction profiling; query via the profile op")
 	flag.Parse()
 
 	var tracer *syrup.TraceRecorder
 	if *traceCap > 0 {
 		tracer = syrup.NewTraceRecorder(*traceCap)
 	}
-	host, app := syrup.MustHostApp(syrup.HostConfig{Seed: 1, NumCPUs: *threads, NICQueues: *threads, Trace: tracer}, 1, 1000, 9000)
+	var telemetry *obs.Config
+	if *obsPeriodUS > 0 {
+		// Counter folding is safe here: this process runs exactly one host,
+		// so the process-global registry is all ours.
+		telemetry = &obs.Config{Period: sim.Time(*obsPeriodUS) * sim.Microsecond, Counters: true}
+	}
+	host, app := syrup.MustHostApp(syrup.HostConfig{
+		Seed: 1, NumCPUs: *threads, NICQueues: *threads, Trace: tracer,
+		Telemetry: telemetry, PolicyProfile: *profile,
+	}, 1, 1000, 9000)
 
 	// Rolling metrics for the stats op. Registering the latency histogram
 	// lets the stats op derive request_latency_{count,p50_us,p99_us,
@@ -55,6 +67,14 @@ func main() {
 	metrics.RegisterHistogram("request_latency", lat)
 	var completed, offered uint64
 	sent := map[uint64]sim.Time{}
+	if host.Obs != nil {
+		host.Obs.Rate("rps", func() float64 { return float64(completed) })
+		host.Obs.Gauge("inflight", func() float64 { return float64(len(sent)) })
+		host.Obs.Rate("drop_rate", func() float64 {
+			return float64(host.Stack.Stats.TotalDrops() + host.NIC.Stats.DroppedRing + host.NIC.Stats.DroppedByXDP)
+		})
+		host.Obs.Histogram("request_latency", lat)
+	}
 
 	scanState, err := app.CreateMap(ebpf.MapSpec{
 		Name: "scan_state", Type: ebpf.MapArray, KeySize: 4, ValueSize: 8, MaxEntries: 64,

@@ -7,6 +7,7 @@ import (
 
 	"syrup"
 	"syrup/internal/nic"
+	"syrup/internal/obs"
 	"syrup/internal/policy"
 	"syrup/internal/sim"
 )
@@ -51,6 +52,13 @@ type RolloutConfig struct {
 	// accumulate during the bake before the rollout aborts (default 0 —
 	// any canary fault aborts).
 	FaultBudget uint64
+	// SLOs, when set, are evaluated against the canaries' merged
+	// telemetry at the end of the bake (multi-window burn rate; see
+	// obs.SLO), after the fault-budget check. Any burning objective
+	// aborts the rollout through the same rollback path. Requires
+	// HostConfig.Telemetry on the members; zero Short/Long windows
+	// default to Bake/4 and Bake.
+	SLOs []obs.SLO
 }
 
 // RolloutReport is the control plane's record of one rollout.
@@ -60,6 +68,9 @@ type RolloutReport struct {
 	// CanaryFaults is the total hook faults the canaries accumulated
 	// during the bake.
 	CanaryFaults uint64
+	// SLOResults holds the canary SLO evaluations when the rollout
+	// configured objectives (in RolloutConfig.SLOs order).
+	SLOResults []obs.SLOResult
 	// Aborted reports a failed canary stage; Reason says why. RolledBack
 	// is true when the canaries were restored to the previous release
 	// (false: detached to the kernel default — there was nothing to
@@ -98,6 +109,14 @@ func (cfg *RolloutConfig) fill(hosts int) error {
 	}
 	if cfg.Probes == 0 {
 		cfg.Probes = 32
+	}
+	for i := range cfg.SLOs {
+		if cfg.SLOs[i].Short == 0 {
+			cfg.SLOs[i].Short = cfg.Bake / 4
+		}
+		if cfg.SLOs[i].Long == 0 {
+			cfg.SLOs[i].Long = cfg.Bake
+		}
 	}
 	return nil
 }
@@ -168,9 +187,28 @@ func (c *Cluster) Rollout(cfg RolloutConfig) (*RolloutReport, error) {
 	}
 
 	key := releaseKey{cfg.App, cfg.Hook}
+	abortReason := ""
 	if rep.CanaryFaults > cfg.FaultBudget {
+		abortReason = fmt.Sprintf("canary faults %d exceed budget %d", rep.CanaryFaults, cfg.FaultBudget)
+	}
+	// SLO gate: evaluate the objectives against the canaries' merged
+	// telemetry as of bake end. A fault-budget abort wins (it is the
+	// cheaper, more specific signal); otherwise any burning objective
+	// aborts through the same rollback path.
+	if abortReason == "" && len(cfg.SLOs) > 0 {
+		snap := c.canarySnapshot(canaries)
+		rep.SLOResults = snap.EvaluateSLOs(cfg.SLOs)
+		for _, r := range rep.SLOResults {
+			if r.Burning {
+				abortReason = fmt.Sprintf("SLO %s burning (short %.2fx, long %.2fx over %d samples)",
+					r.Name, r.ShortBurn, r.LongBurn, r.Samples)
+				break
+			}
+		}
+	}
+	if abortReason != "" {
 		rep.Aborted = true
-		rep.Reason = fmt.Sprintf("canary faults %d exceed budget %d", rep.CanaryFaults, cfg.FaultBudget)
+		rep.Reason = abortReason
 		prev, havePrev := c.released[key]
 		for _, idx := range canaries {
 			m := c.Members[idx]

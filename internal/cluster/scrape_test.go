@@ -1,0 +1,170 @@
+package cluster
+
+import (
+	"encoding/json"
+	"testing"
+
+	"syrup"
+	"syrup/internal/obs"
+	"syrup/internal/sim"
+)
+
+// newObsCluster builds a telemetry-enabled test cluster and registers a
+// per-member synthetic gauge pair: test_value (additive; index+1) and
+// test_p99_us (percentile-named; 100*(index+1)) so the merge rules are
+// observable.
+func newObsCluster(t *testing.T, hosts int) *Cluster {
+	t.Helper()
+	c := newTestCluster(t, hosts, func(i int, cfg *syrup.HostConfig) {
+		cfg.Telemetry = &obs.Config{}
+	})
+	for _, m := range c.Members {
+		idx := m.Index
+		m.Host.Obs.Gauge("test_value", func() float64 { return float64(idx + 1) })
+		m.Host.Obs.Gauge("test_p99_us", func() float64 { return float64(100 * (idx + 1)) })
+	}
+	return c
+}
+
+// TestScrapeMergesFleet: the control plane pulls every member's series
+// through the syrupd timeseries op and merges them — additive series sum,
+// percentile series take the max.
+func TestScrapeMergesFleet(t *testing.T) {
+	c := newObsCluster(t, 3)
+	c.RunAll(1, func(m *Member) { m.Host.RunFor(5 * sim.Millisecond) })
+
+	snap, err := c.Scrape()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Hosts) != 3 {
+		t.Fatalf("scraped %d hosts, want 3", len(snap.Hosts))
+	}
+	if snap.NowNS != int64(5*sim.Millisecond) {
+		t.Fatalf("fleet clock = %d, want %d", snap.NowNS, 5*sim.Millisecond)
+	}
+	find := func(name string) obs.SeriesJSON {
+		t.Helper()
+		for _, s := range snap.Merged {
+			if s.Name == name {
+				return s
+			}
+		}
+		t.Fatalf("merged snapshot missing %q", name)
+		return obs.SeriesJSON{}
+	}
+	if _, v, ok := obs.LastPoint(find("test_value")); !ok || v != 6 {
+		t.Fatalf("merged test_value = %v, want sum 6", v)
+	}
+	if _, v, ok := obs.LastPoint(find("test_p99_us")); !ok || v != 300 {
+		t.Fatalf("merged test_p99_us = %v, want max 300", v)
+	}
+	// The base host gauges wired by TryNewHost are present per host.
+	for _, name := range []string{"softirq_backlog", "nic_inflight", "ghost_runnable", "quarantined_links"} {
+		find(name)
+	}
+
+	// The snapshot round-trips through JSON (syrup-top's recorded-file
+	// format).
+	blob, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back FleetSnapshot
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Hosts) != 3 || back.NowNS != snap.NowNS {
+		t.Fatalf("snapshot did not round-trip: %+v", back)
+	}
+}
+
+// TestScrapeRequiresTelemetry: a fleet with telemetry disabled cannot be
+// scraped.
+func TestScrapeRequiresTelemetry(t *testing.T) {
+	c := newTestCluster(t, 2, nil)
+	if _, err := c.Scrape(); err == nil {
+		t.Fatal("scrape of telemetry-less fleet succeeded")
+	}
+}
+
+// TestScrapeIncludesProfiles: with per-host policy profiling on, the
+// scrape carries each deployment's run counts for syrup-top's hot-policy
+// table.
+func TestScrapeIncludesProfiles(t *testing.T) {
+	c := newTestCluster(t, 2, func(i int, cfg *syrup.HostConfig) {
+		cfg.Telemetry = &obs.Config{}
+		cfg.PolicyProfile = true
+	})
+	rep, err := c.Rollout(RolloutConfig{
+		App: testApp, Hook: syrup.HookSocketSelect, Source: "r0 = 1\nexit\n", Canaries: 2,
+	})
+	if err != nil || rep.Aborted {
+		t.Fatalf("rollout failed: %v %+v", err, rep)
+	}
+	snap, err := c.Scrape()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, hs := range snap.Hosts {
+		if len(hs.Profiles) != 1 {
+			t.Fatalf("%s: %d profiles, want 1", hs.Host, len(hs.Profiles))
+		}
+		p := hs.Profiles[0]
+		if p.Runs == 0 || p.Insns == 0 || len(p.Hits) == 0 {
+			t.Fatalf("%s: empty profile %+v (probes should have run the policy)", hs.Host, p)
+		}
+	}
+}
+
+// TestRolloutSLOGate: a canary whose merged telemetry burns an SLO aborts
+// the rollout through the same rollback path as a fault-budget breach;
+// below-target telemetry sails through with results recorded.
+func TestRolloutSLOGate(t *testing.T) {
+	lat := 100.0 // sampled canary "latency": above the 50µs target
+	c := newObsCluster(t, 4)
+	for _, m := range c.Members {
+		m.Host.Obs.Gauge("canary_latency_us", func() float64 { return lat })
+	}
+	slo := obs.SLO{Name: "canary_lat", Series: "canary_latency_us", Target: 50, Budget: 0.5}
+
+	rep, err := c.Rollout(RolloutConfig{
+		App: testApp, Hook: syrup.HookSocketSelect, Source: "r0 = 1\nexit\n",
+		SLOs: []obs.SLO{slo},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Aborted {
+		t.Fatalf("burning SLO did not abort the rollout: %+v", rep)
+	}
+	if len(rep.SLOResults) != 1 || !rep.SLOResults[0].Burning {
+		t.Fatalf("SLO results = %+v, want one burning objective", rep.SLOResults)
+	}
+	if rep.RolledBack {
+		t.Fatal("RolledBack set with no previous release")
+	}
+	if got := attachedCount(c); got != 0 {
+		t.Fatalf("policy still attached on %d hosts after SLO abort", got)
+	}
+
+	// Healthy telemetry: the same objective evaluates clean and the
+	// rollout completes with the evaluation on record.
+	lat = 10
+	rep, err = c.Rollout(RolloutConfig{
+		App: testApp, Hook: syrup.HookSocketSelect, Source: "r0 = 1\nexit\n",
+		SLOs: []obs.SLO{slo},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Aborted {
+		t.Fatalf("healthy SLO aborted the rollout: %s", rep.Reason)
+	}
+	if rep.Deployed != 4 {
+		t.Fatalf("deployed to %d hosts, want 4", rep.Deployed)
+	}
+	if len(rep.SLOResults) != 1 || rep.SLOResults[0].Burning || rep.SLOResults[0].Samples == 0 {
+		t.Fatalf("SLO results = %+v, want one clean evaluation with samples", rep.SLOResults)
+	}
+}

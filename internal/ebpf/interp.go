@@ -162,6 +162,11 @@ func (p *Program) run(ctx *Ctx, env *Env) (uint64, ExecStats, error) {
 func (p *Program) runInterp(ctx *Ctx, env *Env) (uint64, ExecStats, error) {
 	p.interpRuns.Add(1)
 	ctrInterpRuns.Inc()
+	if pp := p.prof; pp != nil {
+		// Wall timing charged to the entry program, as in execCompiled.
+		t0 := profNow()
+		defer func() { pp.nanos.Add(profSince(t0)) }()
+	}
 	if env == nil {
 		env = &Env{}
 	}
@@ -200,6 +205,9 @@ func interpExec(start *Program, rs *runState) (uint64, error) {
 		ins := prog.insns[pc]
 		rs.stats.Insns++
 		charged++
+		if prog.prof != nil {
+			prog.prof.hits[pc].Add(1)
+		}
 		switch ins.Class() {
 		case ClassALU64:
 			if err := execALU(&rs.regs, ins, true); err != nil {

@@ -84,6 +84,13 @@ func (p *Program) execCompiled(rs *runState, ctx *Ctx, env *Env) (uint64, error)
 	if env == nil {
 		env = &defaultEnv
 	}
+	if pp := p.prof; pp != nil {
+		// bpf_stats_enabled-style wall timing, charged to the entry
+		// program across tail calls (the deferred add also covers the
+		// interpreter-fallback continuation below).
+		t0 := profNow()
+		defer func() { pp.nanos.Add(profSince(t0)) }()
+	}
 	rs.regions = rs.regions[:0]
 	rs.stats = ExecStats{}
 	rs.extra = 0
@@ -167,6 +174,13 @@ func compile(p *Program) []opFunc {
 	code := make([]opFunc, len(p.insns))
 	for i := range p.insns {
 		code[i] = p.compileInsn(i)
+	}
+	if p.prof != nil {
+		// Profiled loads skip fusion (a fused closure executes several
+		// instructions, breaking per-slot attribution) and count every
+		// dispatch instead.
+		profWrapAll(p.prof, code)
+		return code
 	}
 	if !p.noVerify {
 		targets := jumpTargets(p.insns)

@@ -1,0 +1,182 @@
+package ebpf
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// profTestInsns: a branchy program whose slots have different hit counts
+// depending on R1-relative packet bytes is overkill here — instead branch
+// on an immediate so counts are exact: slots 0-1 always run, slot 2
+// (taken branch) skips slot 3, slots 4-5 always run.
+func profTestInsns() []Instruction {
+	return []Instruction{
+		MovImm(R0, 1),           // 0: always
+		MovImm(R2, 5),           // 1: always
+		JmpImm(JmpEq, R2, 5, 1), // 2: always taken
+		MovImm(R0, 99),          // 3: never
+		MovImm(R3, 7),           // 4: always
+		Exit(),                  // 5: always
+	}
+}
+
+func profRun(t *testing.T, nojit bool) *Program {
+	t.Helper()
+	// NoOpt keeps the stream verbatim so slot numbers are stable; with the
+	// optimizer on, hits attribute to the optimized stream it ran.
+	p, err := Load("ptest", profTestInsns(), LoadOptions{Profile: true, NoJIT: nojit, NoOpt: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Profiling() {
+		t.Fatal("Profiling() = false on a Profile load")
+	}
+	for i := 0; i < 10; i++ {
+		if _, _, err := p.Run(nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p
+}
+
+// TestProfileHitsInterpVsJIT: per-slot hit counts are exact and identical
+// between the interpreter and the (fusion-disabled) compiled form.
+func TestProfileHitsInterpVsJIT(t *testing.T) {
+	want := []uint64{10, 10, 10, 0, 10, 10}
+	interp := profRun(t, true).Profile()
+	jit := profRun(t, false).Profile()
+	if !reflect.DeepEqual(interp.Hits, want) {
+		t.Fatalf("interp hits = %v, want %v", interp.Hits, want)
+	}
+	if !reflect.DeepEqual(jit.Hits, want) {
+		t.Fatalf("jit hits = %v, want %v", jit.Hits, want)
+	}
+	for _, s := range []*ProfileSnapshot{interp, jit} {
+		if s.Runs != 10 || s.Insns != 50 {
+			t.Fatalf("runs=%d insns=%d, want 10/50", s.Runs, s.Insns)
+		}
+		if s.Nanos == 0 {
+			t.Fatalf("no wall time recorded")
+		}
+		if s.NanosPerRun() <= 0 {
+			t.Fatalf("NanosPerRun() = %v", s.NanosPerRun())
+		}
+	}
+}
+
+// TestProfileDoesNotChangeResults: a profiled load returns the same
+// verdict and ExecStats as an unprofiled one.
+func TestProfileDoesNotChangeResults(t *testing.T) {
+	plain := MustLoad("pplain", profTestInsns(), LoadOptions{})
+	prof := MustLoad("pprof", profTestInsns(), LoadOptions{Profile: true})
+	r1, st1, err1 := plain.Run(nil, nil)
+	r2, st2, err2 := prof.Run(nil, nil)
+	if r1 != r2 || st1 != st2 || (err1 == nil) != (err2 == nil) {
+		t.Fatalf("profiled run diverged: (%d %+v %v) vs (%d %+v %v)", r1, st1, err1, r2, st2, err2)
+	}
+}
+
+// TestProfileOffByDefault: plain loads carry no profile and report nil.
+func TestProfileOffByDefault(t *testing.T) {
+	p := MustLoad("pnone", profTestInsns(), LoadOptions{})
+	if p.Profiling() || p.Profile() != nil || p.AnnotatedDisasm() != "" {
+		t.Fatal("unprofiled load exposes profile data")
+	}
+}
+
+// TestProfileEnvKillSwitch: SYRUP_EBPF_NOPROFILE vetoes Profile loads
+// process-wide, mirroring NoJIT/NoOpt.
+func TestProfileEnvKillSwitch(t *testing.T) {
+	t.Setenv(EnvNoProfile, "1")
+	p := MustLoad("pkill", profTestInsns(), LoadOptions{Profile: true})
+	if p.Profiling() || p.Profile() != nil {
+		t.Fatal("env kill switch did not disable profiling")
+	}
+	// And the fused fast path is back.
+	if _, _, err := p.Run(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAnnotatedDisasm: the doctor -profile rendering carries hits,
+// percentages, and the disassembly text, one line per instruction (LDDW
+// pairs render once).
+func TestAnnotatedDisasm(t *testing.T) {
+	p := profRun(t, false)
+	out := p.AnnotatedDisasm()
+	if !strings.Contains(out, "10 runs") {
+		t.Fatalf("missing run summary:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 1+len(profTestInsns()) {
+		t.Fatalf("got %d lines, want %d:\n%s", len(lines), 1+len(profTestInsns()), out)
+	}
+	if !strings.Contains(lines[1], "100.0%") || !strings.Contains(lines[1], "r0 = 1") {
+		t.Fatalf("hot line malformed: %q", lines[1])
+	}
+	// Slot 3 never ran.
+	if !strings.Contains(lines[4], "   0.0%") {
+		t.Fatalf("cold line malformed: %q", lines[4])
+	}
+}
+
+// TestProfileTailCallAttribution: hits land on the program that executed
+// the instruction; wall time bills the entry program.
+func TestProfileTailCallAttribution(t *testing.T) {
+	progArr := MustNewMap(MapSpec{Name: "pfprogs", Type: MapProgArray, KeySize: 4, ValueSize: 4, MaxEntries: 4})
+	table := NewMapTable()
+	table.Register(progArr) // fd 3
+	leaf := MustLoad("pfleaf", []Instruction{MovImm(R0, 42), Exit()}, LoadOptions{Profile: true})
+	if err := progArr.UpdateProg(0, leaf); err != nil {
+		t.Fatal(err)
+	}
+	entryInsns := append(LoadMapFD(R2, 3), // r1 stays ctx
+		MovImm(R3, 0),
+		Call(HelperTailCall),
+		MovImm(R0, 7), // only on failed tail call
+		Exit(),
+	)
+	entry, err := Load("pfentry", entryInsns, LoadOptions{MapTable: table, Profile: true, NoOpt: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret, _, err := entry.Run(nil, nil)
+	if err != nil || ret != 42 {
+		t.Fatalf("run = %d, %v", ret, err)
+	}
+	ep, lp := entry.Profile(), leaf.Profile()
+	if lp.Hits[0] != 1 || lp.Hits[1] != 1 {
+		t.Fatalf("leaf hits = %v", lp.Hits)
+	}
+	if ep.Hits[4] != 0 {
+		t.Fatalf("entry post-tail-call slot hit: %v", ep.Hits)
+	}
+	if ep.Nanos == 0 {
+		t.Fatal("entry program not billed for wall time")
+	}
+	if lp.Nanos != 0 {
+		t.Fatalf("tail-call callee billed %d ns; time belongs to the entry program", lp.Nanos)
+	}
+}
+
+// BenchmarkDispatchProfile measures the profiling tax on the JIT hot
+// path (EXPERIMENTS.md): same program, Profile off vs on.
+func BenchmarkDispatchProfile(b *testing.B) {
+	for _, on := range []bool{false, true} {
+		name := "off"
+		if on {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			p := MustLoad("pbench", profTestInsns(), LoadOptions{Profile: on})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := p.Run(nil, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -57,6 +57,11 @@ type Program struct {
 	// Dispatch accounting: how invocations reached this program.
 	compiledRuns atomic.Uint64
 	interpRuns   atomic.Uint64
+
+	// prof holds the opt-in per-instruction profile (profile.go); nil —
+	// the common case — means no profiling overhead beyond one nil check
+	// per run segment.
+	prof *profData
 }
 
 // LoadOptions configures program loading.
@@ -78,6 +83,12 @@ type LoadOptions struct {
 	// forces this process-wide — the field-bisection escape hatch, exactly
 	// like NoJIT for the compiler.
 	NoOpt bool
+	// Profile enables bpf_stats_enabled-style accounting for this load:
+	// run count, cumulative wall ns, and per-instruction hit counters
+	// (profile.go). Profiled programs compile without superinstruction
+	// fusion so hits attribute exactly one slot per dispatch. The
+	// SYRUP_EBPF_NOPROFILE environment variable vetoes this process-wide.
+	Profile bool
 }
 
 // Load resolves map references and verifies the program.
@@ -128,6 +139,9 @@ func Load(name string, insns []Instruction, opts LoadOptions) (*Program, error) 
 		if !opts.NoOpt && !optDisabledByEnv() {
 			p.optimize(budget)
 		}
+	}
+	if opts.Profile && !profDisabledByEnv() {
+		p.prof = newProfData(len(p.insns))
 	}
 	if !opts.NoJIT && !jitDisabledByEnv() {
 		p.code = compile(p)

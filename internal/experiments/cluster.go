@@ -10,6 +10,7 @@ import (
 	"syrup/internal/cluster"
 	"syrup/internal/ebpf"
 	"syrup/internal/metrics"
+	"syrup/internal/obs"
 	"syrup/internal/policy"
 	"syrup/internal/sim"
 	"syrup/internal/workload"
@@ -46,7 +47,11 @@ type ClusterConfig struct {
 	TokenFrac float64
 	// Canaries overrides the rollout's stage-1 host count (0 = default).
 	Canaries int
-	Windows  Windows
+	// SLOs, when set, gate the rollout's canary bake on burn-rate
+	// objectives evaluated against the canaries' merged telemetry (see
+	// cluster.RolloutConfig.SLOs). Requires telemetry (SetObsPeriod).
+	SLOs    []obs.SLO
+	Windows Windows
 }
 
 func (cfg ClusterConfig) withDefaults() ClusterConfig {
@@ -110,9 +115,9 @@ type ClusterRun struct {
 func RunCluster(cfg ClusterConfig) (*ClusterRun, error) {
 	cfg = cfg.withDefaults()
 
-	hostCfg := syrup.HostConfig{NumCPUs: 6, NICQueues: 6, Batch: batchSize}
+	hostCfg := syrup.HostConfig{NumCPUs: 6, NICQueues: 6, Batch: batchSize, Telemetry: telemetryConfig()}
 	if cfg.App == "mica" {
-		hostCfg = syrup.HostConfig{NumCPUs: micaN, NICQueues: micaN, Batch: batchSize}
+		hostCfg = syrup.HostConfig{NumCPUs: micaN, NICQueues: micaN, Batch: batchSize, Telemetry: telemetryConfig()}
 	}
 	cl, err := cluster.New(cluster.Config{Hosts: cfg.Hosts, Seed: cfg.Seed, Host: hostCfg})
 	if err != nil {
@@ -171,6 +176,7 @@ func RunCluster(cfg ClusterConfig) (*ClusterRun, error) {
 			})
 			srv.Start()
 			gens[i] = gen
+			instrumentHost(m.Host, gen, part.Classes)
 		case "mica":
 			if _, err := m.Host.RegisterApp(micaApp, micaUID, micaPort); err != nil {
 				return nil, err
@@ -185,6 +191,7 @@ func RunCluster(cfg ClusterConfig) (*ClusterRun, error) {
 			srv.Start()
 			gens[i] = gen
 			micaSrvs[i] = srv
+			instrumentHost(m.Host, gen, part.Classes)
 		}
 	}
 
@@ -195,7 +202,7 @@ func RunCluster(cfg ClusterConfig) (*ClusterRun, error) {
 	case "rocksdb":
 		rollout = cluster.RolloutConfig{
 			App: rocksApp, Hook: syrup.HookSocketSelect,
-			Policy: policy.NameToken, Canaries: cfg.Canaries,
+			Policy: policy.NameToken, Canaries: cfg.Canaries, SLOs: cfg.SLOs,
 		}
 	case "mica":
 		rollout = cluster.RolloutConfig{
@@ -204,7 +211,7 @@ func RunCluster(cfg ClusterConfig) (*ClusterRun, error) {
 			Defines: map[string]int64{"NUM_EXECUTORS": micaN},
 			// Probe keys hash anywhere in the keyspace, so most probes are
 			// foreign to any one shard and served as drops, not faults.
-			Canaries: cfg.Canaries,
+			Canaries: cfg.Canaries, SLOs: cfg.SLOs,
 		}
 	}
 	rep, err := cl.Rollout(rollout)

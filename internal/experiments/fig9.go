@@ -55,19 +55,22 @@ func runMicaPoint(pt micaPoint) *workload.Result {
 		NumCPUs:   micaN,
 		NICQueues: micaN,
 		Batch:     batchSize,
+		Telemetry: telemetryConfig(),
 	}, micaApp, micaUID, micaPort)
+	classes := []workload.Class{
+		{Name: "GET", Weight: pt.GetFrac, Type: policy.ReqGET},
+		{Name: "PUT", Weight: 1 - pt.GetFrac, Type: policy.ReqPUT},
+	}
 	gen := workload.New(host.Eng, host.NIC, workload.Config{
-		Rate:    pt.Load,
-		DstPort: micaPort,
-		Classes: []workload.Class{
-			{Name: "GET", Weight: pt.GetFrac, Type: policy.ReqGET},
-			{Name: "PUT", Weight: 1 - pt.GetFrac, Type: policy.ReqPUT},
-		},
+		Rate:     pt.Load,
+		DstPort:  micaPort,
+		Classes:  classes,
 		KeySpace: 1 << 20,
 		Warmup:   pt.Windows.Warmup,
 		Measure:  pt.Windows.Measure,
 		Drain:    pt.Windows.Drain,
 	})
+	instrumentHost(host, gen, classes)
 	srv := mica.NewServer(host.Eng, host.Machine, host.Stack, mica.Config{
 		Port: micaPort, App: micaApp, NumThreads: micaN, Mode: pt.Mode,
 		OnComplete: gen.Complete,

@@ -9,6 +9,7 @@ import (
 	"syrup/internal/faults"
 	"syrup/internal/ghost"
 	"syrup/internal/kernel"
+	"syrup/internal/obs"
 	"syrup/internal/policy"
 	"syrup/internal/sim"
 	"syrup/internal/syrupd"
@@ -45,6 +46,49 @@ var batchSize int
 
 // SetBatch sets the datapath drain budget for subsequently built hosts.
 func SetBatch(n int) { batchSize = n }
+
+// obsPeriod, when positive, attaches a telemetry sampler to every
+// subsequently built experiment host: datapath gauges plus workload
+// rps/drop_rate/latency series sampled each period. The sampler rides the
+// engine's passive hook, so results are bit-identical with it on or off
+// (the obs-diff gate). Zero (the default) builds hosts with no telemetry.
+var obsPeriod sim.Time
+
+// SetObsPeriod enables (or, with 0, disables) telemetry on subsequently
+// built experiment hosts.
+func SetObsPeriod(p sim.Time) { obsPeriod = p }
+
+// telemetryConfig renders the package toggle as a host config.
+func telemetryConfig() *obs.Config {
+	if obsPeriod <= 0 {
+		return nil
+	}
+	return &obs.Config{Period: obsPeriod}
+}
+
+// instrumentHost registers the workload-facing series on a telemetry-
+// enabled host: total completion rate (rps), cumulative drop rate across
+// the NIC and stack (drop_rate), and per-class latency percentile series.
+// No-op when the host has no sampler.
+func instrumentHost(host *syrup.Host, gen *workload.Generator, classes []workload.Class) {
+	if host.Obs == nil {
+		return
+	}
+	live := gen.LiveStats()
+	host.Obs.Rate("rps", func() float64 {
+		var n uint64
+		for _, st := range live {
+			n += st.Completed
+		}
+		return float64(n)
+	})
+	host.Obs.Rate("drop_rate", func() float64 {
+		return float64(host.Stack.Stats.TotalDrops() + host.NIC.Stats.DroppedRing + host.NIC.Stats.DroppedByXDP)
+	})
+	for i, c := range classes {
+		host.Obs.Histogram("latency_"+c.Name, live[i].Latency)
+	}
+}
 
 // SocketPolicy names the socket-selection policy a RocksDB point uses.
 type SocketPolicy string
@@ -136,6 +180,7 @@ func runRocksPointFull(pt rocksPoint) (*workload.Result, *rocksdb.Server, *syrup
 		Trace:      pt.Tracer,
 		Faults:     pt.Faults,
 		Quarantine: pt.Quarantine,
+		Telemetry:  telemetryConfig(),
 	}, rocksApp, rocksUID, rocksPort)
 
 	gen := workload.New(host.Eng, host.NIC, workload.Config{
@@ -147,6 +192,7 @@ func runRocksPointFull(pt rocksPoint) (*workload.Result, *rocksdb.Server, *syrup
 		Measure: pt.Windows.Measure,
 		Drain:   pt.Windows.Drain,
 	})
+	instrumentHost(host, gen, pt.Classes)
 
 	// The scan_state map is shared between the app (userspace updates),
 	// the SCAN Avoid kernel policy, and the ghOSt policy.

@@ -119,7 +119,9 @@ func CountersDelta() map[string]uint64 {
 
 // Histogram registry: long-running surfaces (cmd/syrupd) register their
 // latency histograms here so the stats op can fold percentiles in next
-// to the counters. Unlike counters, histograms are not thread-safe —
+// to the counters, the obs sampler can trace percentile series over sim
+// time, and PromText can export them. Unlike counters, histograms are
+// not thread-safe —
 // registering one hands the stats reader a reference, so the owner must
 // serialize its Record calls against stats snapshots (syrupd's server
 // already holds its big lock across Handle).

@@ -142,3 +142,60 @@ func TestHistogramRegistry(t *testing.T) {
 		t.Fatal("nil register did not remove")
 	}
 }
+
+// TestHistogramRegistryGenerations mirrors the warmup/measure reset
+// pattern: each phase allocates a fresh histogram and re-registers it
+// under the same name, and readers must always see the latest
+// generation — never a stale reference to the warmup data.
+func TestHistogramRegistryGenerations(t *testing.T) {
+	warmup := NewHistogram()
+	warmup.Record(999)
+	RegisterHistogram("t_hist_gen", warmup)
+
+	// Phase boundary: the owner discards warmup samples by swapping in a
+	// fresh histogram, exactly as syrupd does between warmup and measure.
+	measure := NewHistogram()
+	measure.Record(50)
+	RegisterHistogram("t_hist_gen", measure)
+
+	got := Histograms()["t_hist_gen"]
+	if got != measure {
+		t.Fatal("registry serves the warmup generation after re-register")
+	}
+	if got.Count() != 1 || got.Max() != 50 {
+		t.Fatalf("latest generation has count=%d max=%d, want 1/50", got.Count(), got.Max())
+	}
+	RegisterHistogram("t_hist_gen", nil)
+}
+
+// TestHistogramsSnapshotIsACopy: the map returned by Histograms is the
+// caller's to mutate — deleting or inserting entries must not reach the
+// registry, and later registry changes must not reach an older snapshot.
+func TestHistogramsSnapshotIsACopy(t *testing.T) {
+	h := NewHistogram()
+	RegisterHistogram("t_hist_copy", h)
+	defer RegisterHistogram("t_hist_copy", nil)
+
+	snap := Histograms()
+	delete(snap, "t_hist_copy")
+	snap["t_hist_rogue"] = NewHistogram()
+
+	if Histograms()["t_hist_copy"] != h {
+		t.Fatal("deleting from a snapshot mutated the registry")
+	}
+	if _, ok := Histograms()["t_hist_rogue"]; ok {
+		t.Fatal("inserting into a snapshot mutated the registry")
+	}
+
+	// A snapshot taken before an unregister still holds its reference;
+	// only fresh snapshots observe the change.
+	old := Histograms()
+	RegisterHistogram("t_hist_copy", nil)
+	if old["t_hist_copy"] != h {
+		t.Fatal("unregister reached a previously taken snapshot")
+	}
+	if _, ok := Histograms()["t_hist_copy"]; ok {
+		t.Fatal("unregister not visible to a fresh snapshot")
+	}
+	RegisterHistogram("t_hist_copy", h) // restore for the deferred cleanup
+}

@@ -86,6 +86,12 @@ type Stats struct {
 	XSKDrops        uint64
 }
 
+// TotalDrops sums every stack-level drop cause — the cumulative counter
+// the telemetry sampler differentiates into a drop rate.
+func (s *Stats) TotalDrops() uint64 {
+	return s.BacklogDrops + s.SocketDrops + s.PolicyDrops + s.NoExecutorDrops + s.NoGroupDrops + s.XSKDrops
+}
+
 // softirqCore is a serial per-RX-queue service timeline: the hyperthread
 // buddy that runs IRQ + softirq work for that queue (§5.1.1 maps each
 // queue's interrupt to the buddy of the application hyperthread).
@@ -360,6 +366,16 @@ func (s *Stack) RegisterXSK(port uint16, queue int, sock *Socket) int {
 
 // SocketQueueCap exposes the configured socket queue bound.
 func (s *Stack) SocketQueueCap() int { return s.cfg.SocketQueueCap }
+
+// SoftirqBacklog sums the packets queued behind busy softirq cores across
+// every RX queue — a live gauge for the telemetry sampler.
+func (s *Stack) SoftirqBacklog() int {
+	total := 0
+	for i := range s.cores {
+		total += s.cores[i].backlog
+	}
+	return total
+}
 
 // softirqCost computes one packet's softirq occupancy from an attachment
 // snapshot. A detached XDP point (e.g. after a revoke) charges the

@@ -284,6 +284,27 @@ func New(eng *sim.Engine, cfg Config, deliver DeliverFunc) *NIC {
 // NumQueues reports the RX queue count.
 func (n *NIC) NumQueues() int { return n.cfg.Queues }
 
+// InflightTotal sums the packets handed to the host but not yet consumed
+// across every queue — a live gauge for the telemetry sampler.
+func (n *NIC) InflightTotal() int {
+	total := 0
+	for _, v := range n.inflight {
+		total += v
+	}
+	return total
+}
+
+// RingOccupancy sums the packets accepted into the burst-drain rings and
+// awaiting their softirq delivery instant (always 0 when Budget <= 1) — a
+// live gauge for the telemetry sampler.
+func (n *NIC) RingOccupancy() int {
+	total := 0
+	for _, r := range n.rings {
+		total += len(r)
+	}
+	return total
+}
+
 // HostMapRTT reports the configured host↔NIC map round trip.
 func (n *NIC) HostMapRTT() sim.Time { return n.cfg.HostMapRTT }
 

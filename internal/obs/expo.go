@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+
+	"syrup/internal/metrics"
+	"syrup/internal/sim"
+)
+
+// PromText renders the current telemetry as Prometheus text exposition
+// (version 0.0.4): every registered counter as a counter metric, every
+// registered histogram's summary as gauges, and the latest point of every
+// series in st (which may be nil). Timestamps are the sim clock in
+// milliseconds — scrapers normalize deltas into true rates with them.
+// Metric names are prefixed syrup_ and already snake_case (lint-metrics).
+func PromText(st *Store, now sim.Time) string {
+	var b strings.Builder
+	ms := int64(now) / 1e6
+	for _, cv := range metrics.CountersSorted() {
+		fmt.Fprintf(&b, "# TYPE syrup_%s counter\n", cv.Name)
+		fmt.Fprintf(&b, "syrup_%s %d %d\n", cv.Name, cv.Value, ms)
+	}
+	hists := metrics.Histograms()
+	for _, name := range metrics.HistogramNames() {
+		sum := hists[name].Summarize()
+		fmt.Fprintf(&b, "# TYPE syrup_%s summary\n", name)
+		fmt.Fprintf(&b, "syrup_%s_count %d %d\n", name, sum.Count, ms)
+		fmt.Fprintf(&b, "syrup_%s{quantile=\"0.5\"} %g %d\n", name, float64(sum.P50)/1e3, ms)
+		fmt.Fprintf(&b, "syrup_%s{quantile=\"0.99\"} %g %d\n", name, float64(sum.P99)/1e3, ms)
+		fmt.Fprintf(&b, "syrup_%s{quantile=\"0.999\"} %g %d\n", name, float64(sum.P999)/1e3, ms)
+	}
+	if st != nil {
+		for _, s := range st.Snapshot() {
+			t, v, ok := LastPoint(s)
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(&b, "# TYPE syrup_%s gauge\n", s.Name)
+			fmt.Fprintf(&b, "syrup_%s %g %d\n", s.Name, v, t/1e6)
+		}
+	}
+	return b.String()
+}
+
+// LastPoint returns the last point of a snapshot series.
+func LastPoint(s SeriesJSON) (t int64, v float64, ok bool) {
+	if len(s.T) == 0 {
+		return 0, 0, false
+	}
+	return s.T[len(s.T)-1], s.V[len(s.V)-1], true
+}

@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"syrup/internal/metrics"
+	"syrup/internal/sim"
+)
+
+func TestSeriesRing(t *testing.T) {
+	s := newSeries("x", 4)
+	for i := 1; i <= 6; i++ {
+		s.Append(sim.Time(i*10), float64(i))
+	}
+	snap := s.Snapshot()
+	if !reflect.DeepEqual(snap.T, []int64{30, 40, 50, 60}) {
+		t.Fatalf("ring kept %v, want the newest 4", snap.T)
+	}
+	if !reflect.DeepEqual(snap.V, []float64{3, 4, 5, 6}) {
+		t.Fatalf("ring values %v", snap.V)
+	}
+	if ts, v, ok := s.Last(); !ok || ts != 60 || v != 6 {
+		t.Fatalf("Last() = %d,%v,%v", ts, v, ok)
+	}
+}
+
+func TestStoreSnapshotSorted(t *testing.T) {
+	st := NewStore(8)
+	st.Series("zeta").Append(1, 1)
+	st.Series("alpha").Append(1, 2)
+	snap := st.Snapshot()
+	if len(snap) != 2 || snap[0].Name != "alpha" || snap[1].Name != "zeta" {
+		t.Fatalf("snapshot not name-sorted: %+v", snap)
+	}
+	if st.Get("alpha") == nil || st.Get("missing") != nil {
+		t.Fatalf("Get semantics wrong")
+	}
+}
+
+// TestSamplerEndToEnd drives a sampler from a real engine: gauge, rate,
+// and histogram series all land on period boundaries.
+func TestSamplerEndToEnd(t *testing.T) {
+	eng := sim.New(7)
+	sa := NewSampler(Config{Period: 10, Capacity: 64})
+	var depth float64
+	var done float64
+	h := metrics.NewHistogram()
+	sa.Gauge("queue_depth", func() float64 { return depth })
+	sa.Rate("rps", func() float64 { return done })
+	sa.Histogram("latency", h)
+	sa.Attach(eng)
+
+	eng.At(5, func() { depth = 3; done = 100; h.Record(2000) })
+	eng.At(15, func() { depth = 1; done = 250 })
+	eng.RunUntil(30)
+
+	snap := sa.Store().Snapshot()
+	byName := map[string]SeriesJSON{}
+	for _, s := range snap {
+		byName[s.Name] = s
+	}
+	qd := byName["queue_depth"]
+	if !reflect.DeepEqual(qd.T, []int64{10, 20, 30}) || !reflect.DeepEqual(qd.V, []float64{3, 1, 1}) {
+		t.Fatalf("queue_depth = %v %v", qd.T, qd.V)
+	}
+	// Rate: period 10 ns → perSec factor 1e8. Deltas 100, 150, 0.
+	rps := byName["rps"]
+	if !reflect.DeepEqual(rps.V, []float64{100e8, 150e8, 0}) {
+		t.Fatalf("rps = %v", rps.V)
+	}
+	if got := byName["latency_count"].V; !reflect.DeepEqual(got, []float64{1, 1, 1}) {
+		t.Fatalf("latency_count = %v", got)
+	}
+	if got := byName["latency_p99_us"].V[0]; got != 2 { // 2000 ns = 2 µs
+		t.Fatalf("latency_p99_us = %v", got)
+	}
+}
+
+// TestSampleZeroAlloc: a warmed sampler tick is allocation-free (gauges,
+// rates, and histograms only; counter folding allocates by design and is
+// opt-in for the standalone daemon).
+func TestSampleZeroAlloc(t *testing.T) {
+	sa := NewSampler(Config{Period: 10, Capacity: 1 << 12})
+	var x float64
+	h := metrics.NewHistogram()
+	h.Record(500)
+	sa.Gauge("g", func() float64 { return x })
+	sa.Rate("r", func() float64 { return x })
+	sa.Histogram("h", h)
+	at := sim.Time(0)
+	sa.Sample(at)
+	allocs := testing.AllocsPerRun(100, func() {
+		at += 10
+		sa.Sample(at)
+	})
+	if allocs != 0 {
+		t.Fatalf("Sample allocates %.1f/run, want 0", allocs)
+	}
+}
+
+func TestMergeSeries(t *testing.T) {
+	h1 := []SeriesJSON{
+		{Name: "rps", T: []int64{10, 20}, V: []float64{100, 200}},
+		{Name: "latency_p99_us", T: []int64{10, 20}, V: []float64{50, 80}},
+	}
+	h2 := []SeriesJSON{
+		{Name: "rps", T: []int64{10, 20, 30}, V: []float64{40, 60, 70}},
+		{Name: "latency_p99_us", T: []int64{10, 20}, V: []float64{90, 30}},
+	}
+	m := MergeSeries(h1, h2)
+	byName := map[string]SeriesJSON{}
+	for _, s := range m {
+		byName[s.Name] = s
+	}
+	rps := byName["rps"]
+	if !reflect.DeepEqual(rps.T, []int64{10, 20, 30}) || !reflect.DeepEqual(rps.V, []float64{140, 260, 70}) {
+		t.Fatalf("additive merge = %v %v", rps.T, rps.V)
+	}
+	p99 := byName["latency_p99_us"]
+	if !reflect.DeepEqual(p99.V, []float64{90, 80}) {
+		t.Fatalf("percentile merge should take max: %v", p99.V)
+	}
+}
+
+func approx(got, want float64) bool {
+	d := got - want
+	return d < 1e-9 && d > -1e-9
+}
+
+func TestSLOBurnRate(t *testing.T) {
+	// 10 samples, 1 per 10 ns; last 3 are bad (>100). Budget 0.2.
+	var snap []SeriesJSON
+	s := SeriesJSON{Name: "p99"}
+	for i := 1; i <= 10; i++ {
+		s.T = append(s.T, int64(i*10))
+		v := 50.0
+		if i >= 8 {
+			v = 200
+		}
+		s.V = append(s.V, v)
+	}
+	snap = append(snap, s)
+	o := SLO{Name: "ls_p99", Series: "p99", Target: 100, Budget: 0.2, Short: 30, Long: 100}
+	r := o.Evaluate(snap, 100)
+	// Short window [70,100]: samples 70..100 → i=7..10 → 3 bad of 4 → 0.75/0.2 = 3.75.
+	if r.ShortBurn != 3.75 {
+		t.Fatalf("short burn = %v, want 3.75", r.ShortBurn)
+	}
+	// Long window: 3 bad of 10 → 0.3/0.2 = 1.5.
+	if !approx(r.LongBurn, 1.5) || !r.Burning {
+		t.Fatalf("long burn = %v burning=%v, want 1.5 true", r.LongBurn, r.Burning)
+	}
+	// A tighter budget is already burning; a generous one is not.
+	o.Budget = 0.5
+	if r = o.Evaluate(snap, 100); r.Burning {
+		t.Fatalf("budget 0.5 should not burn (long=%v)", r.LongBurn)
+	}
+	// Empty window: no evidence, no burn.
+	if r = o.Evaluate(nil, 100); r.Burning || r.Samples != 0 {
+		t.Fatalf("missing series must not burn: %+v", r)
+	}
+}
+
+func TestSLORatioDenom(t *testing.T) {
+	snap := []SeriesJSON{
+		{Name: "drop_rate", T: []int64{10, 20, 30}, V: []float64{0, 50, 100}},
+		{Name: "rps", T: []int64{10, 20, 30}, V: []float64{1000, 950, 900}},
+	}
+	// Drop fraction per tick: 0, .05, .1. Target .02 → 2 bad of 3.
+	o := SLO{Name: "drops", Series: "drop_rate", Denom: "rps", Target: 0.02, Budget: 0.5, Short: 30, Long: 30}
+	r := o.Evaluate(snap, 30)
+	want := (2.0 / 3.0) / 0.5
+	if !approx(r.LongBurn, want) || !r.Burning {
+		t.Fatalf("ratio burn = %v burning=%v, want %v true", r.LongBurn, r.Burning, want)
+	}
+}
+
+func TestPromText(t *testing.T) {
+	st := NewStore(8)
+	st.Series("queue_depth").Append(2*sim.Millisecond, 5)
+	h := metrics.NewHistogram()
+	h.Record(1000)
+	metrics.RegisterHistogram("expo_test_latency", h)
+	defer metrics.RegisterHistogram("expo_test_latency", nil)
+	text := PromText(st, 3*sim.Millisecond)
+	for _, line := range []string{
+		"# TYPE syrup_queue_depth gauge",
+		"syrup_queue_depth 5 2",
+		"syrup_expo_test_latency_count 1 3",
+		`syrup_expo_test_latency{quantile="0.99"}`,
+	} {
+		if !strings.Contains(text, line) {
+			t.Fatalf("exposition missing %q:\n%s", line, text)
+		}
+	}
+}

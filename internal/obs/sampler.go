@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"syrup/internal/metrics"
+	"syrup/internal/sim"
+)
+
+// DefaultPeriod is the sampling interval when Config.Period is zero.
+const DefaultPeriod = sim.Millisecond
+
+// Config selects what the telemetry plane records.
+type Config struct {
+	// Period is the sampling interval in sim time (default 1 ms).
+	Period sim.Time
+	// Capacity is the per-series ring size in points (default 4096).
+	Capacity int
+	// Counters folds the process-global metrics.CountersDelta() into the
+	// store every tick. CountersDelta is destructive and process-wide, so
+	// this must only be enabled when a single host owns the process
+	// (cmd/syrupd); concurrent hosts (cluster runs, figure sweeps) would
+	// partition the deltas nondeterministically. Per-host telemetry uses
+	// gauges and histograms instead.
+	Counters bool
+}
+
+type gaugeReg struct {
+	s  *Series
+	fn func() float64
+}
+
+type rateReg struct {
+	s    *Series
+	fn   func() float64
+	prev float64
+}
+
+type histReg struct {
+	h                     *metrics.Histogram
+	count, p50, p99, p999 *Series
+}
+
+// Sampler snapshots registered gauges, rates, and histogram percentiles
+// into a Store at every period boundary. Attach it to an engine via
+// Attach; the engine invokes Sample through its passive hook, off the
+// event queue.
+type Sampler struct {
+	store    *Store
+	period   sim.Time
+	counters bool
+	gauges   []gaugeReg
+	rates    []rateReg
+	hists    []histReg
+}
+
+// NewSampler builds a sampler and its backing store from cfg.
+func NewSampler(cfg Config) *Sampler {
+	period := cfg.Period
+	if period <= 0 {
+		period = DefaultPeriod
+	}
+	return &Sampler{
+		store:    NewStore(cfg.Capacity),
+		period:   period,
+		counters: cfg.Counters,
+	}
+}
+
+// Store returns the backing time-series store.
+func (sa *Sampler) Store() *Store { return sa.store }
+
+// Period returns the sampling interval.
+func (sa *Sampler) Period() sim.Time { return sa.period }
+
+// Gauge registers an instantaneous value sampled every tick (queue depth,
+// ring occupancy, runnable threads). Names are snake_case (lint-metrics).
+func (sa *Sampler) Gauge(name string, fn func() float64) {
+	sa.gauges = append(sa.gauges, gaugeReg{s: sa.store.Series(name), fn: fn})
+}
+
+// Rate registers a cumulative value differentiated into a per-second rate
+// series: each tick records (cur-prev)/period. Feeding it a monotonically
+// increasing count (completions, drops) yields RPS-style series.
+func (sa *Sampler) Rate(name string, fn func() float64) {
+	sa.rates = append(sa.rates, rateReg{s: sa.store.Series(name), fn: fn})
+}
+
+// Histogram registers a live latency histogram; every tick records its
+// count and p50/p99/p999 in microseconds as <name>_count, <name>_p50_us,
+// <name>_p99_us, <name>_p999_us — the same derived keys the syrupd stats
+// op folds in.
+func (sa *Sampler) Histogram(name string, h *metrics.Histogram) {
+	sa.hists = append(sa.hists, histReg{
+		h:     h,
+		count: sa.store.Series(name + "_count"),
+		p50:   sa.store.Series(name + "_p50_us"),
+		p99:   sa.store.Series(name + "_p99_us"),
+		p999:  sa.store.Series(name + "_p999_us"),
+	})
+}
+
+// Attach installs the sampler on the engine's passive sampling hook.
+func (sa *Sampler) Attach(eng *sim.Engine) { eng.SetSampler(sa.period, sa.Sample) }
+
+// Sample records one tick at boundary time at. It is the engine hook
+// target; it never schedules events and draws no randomness.
+func (sa *Sampler) Sample(at sim.Time) {
+	for i := range sa.gauges {
+		g := &sa.gauges[i]
+		g.s.Append(at, g.fn())
+	}
+	perSec := float64(sim.Second) / float64(sa.period)
+	for i := range sa.rates {
+		r := &sa.rates[i]
+		cur := r.fn()
+		r.s.Append(at, (cur-r.prev)*perSec)
+		r.prev = cur
+	}
+	for i := range sa.hists {
+		h := &sa.hists[i]
+		sum := h.h.Summarize()
+		h.count.Append(at, float64(sum.Count))
+		h.p50.Append(at, float64(sum.P50)/1e3)
+		h.p99.Append(at, float64(sum.P99)/1e3)
+		h.p999.Append(at, float64(sum.P999)/1e3)
+	}
+	if sa.counters {
+		for name, delta := range metrics.CountersDelta() {
+			sa.store.Series(name+"_delta").Append(at, float64(delta))
+		}
+	}
+}

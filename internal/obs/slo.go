@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"fmt"
+
+	"syrup/internal/sim"
+)
+
+// SLO is a service-level objective evaluated against a (possibly
+// fleet-merged) series snapshot with the classic multi-window burn-rate
+// rule: a sample is "bad" when its value exceeds Target; the burn rate of
+// a window is the bad-sample fraction divided by the error Budget; the
+// objective is burning when BOTH the short and long windows burn at or
+// above MaxBurn. The short window makes alerts fast, the long window
+// keeps one transient spike from tripping them.
+type SLO struct {
+	// Name identifies the objective in reports ("ls_p99", "drop_rate").
+	Name string `json:"name"`
+	// Series is the metric the objective watches, e.g. "latency_LS_p99_us".
+	Series string `json:"series"`
+	// Denom, when set, turns the watched value into the pointwise ratio
+	// Series/(Series+Denom) — e.g. drop_rate/(drop_rate+rps) yields the
+	// drop fraction per tick for a drop-rate budget.
+	Denom string `json:"denom,omitempty"`
+	// Target is the good/bad threshold on the watched value (µs for
+	// percentile series, a fraction for ratio objectives).
+	Target float64 `json:"target"`
+	// Budget is the allowed bad-sample fraction (the error budget).
+	Budget float64 `json:"budget"`
+	// Short and Long are the burn-rate windows in sim time.
+	Short sim.Time `json:"short_ns"`
+	Long  sim.Time `json:"long_ns"`
+	// MaxBurn is the alerting threshold on both windows (default 1:
+	// burning the exact budget).
+	MaxBurn float64 `json:"max_burn,omitempty"`
+}
+
+// SLOResult is one objective's evaluation.
+type SLOResult struct {
+	Name      string  `json:"name"`
+	ShortBurn float64 `json:"short_burn"`
+	LongBurn  float64 `json:"long_burn"`
+	Samples   int     `json:"samples"` // points in the long window
+	Burning   bool    `json:"burning"`
+}
+
+// String renders "ls_p99 burn=3.2x/2.1x BURNING"-style summaries.
+func (r SLOResult) String() string {
+	state := "ok"
+	if r.Burning {
+		state = "BURNING"
+	}
+	return fmt.Sprintf("%s short=%.2fx long=%.2fx n=%d %s",
+		r.Name, r.ShortBurn, r.LongBurn, r.Samples, state)
+}
+
+// findSeries locates name in a snapshot.
+func findSeries(snap []SeriesJSON, name string) (SeriesJSON, bool) {
+	for _, s := range snap {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return SeriesJSON{}, false
+}
+
+// values materializes the watched value stream: the raw series, or the
+// Series/(Series+Denom) ratio aligned pointwise (equal timestamps — both
+// come from the same sampler).
+func (o SLO) values(snap []SeriesJSON) (t []int64, v []float64) {
+	num, ok := findSeries(snap, o.Series)
+	if !ok {
+		return nil, nil
+	}
+	if o.Denom == "" {
+		return num.T, num.V
+	}
+	den, ok := findSeries(snap, o.Denom)
+	if !ok {
+		return nil, nil
+	}
+	for i, ts := range num.T {
+		dv, ok := den.LastBefore(ts)
+		if !ok {
+			continue
+		}
+		total := num.V[i] + dv
+		t = append(t, ts)
+		if total <= 0 {
+			v = append(v, 0)
+		} else {
+			v = append(v, num.V[i]/total)
+		}
+	}
+	return t, v
+}
+
+// burn computes the bad fraction over [now-window, now] divided by the
+// budget. No samples in the window means no evidence: burn 0.
+func burn(t []int64, v []float64, now int64, window sim.Time, target, budget float64) (float64, int) {
+	lo := now - int64(window)
+	n, bad := 0, 0
+	for i := len(t) - 1; i >= 0; i-- {
+		if t[i] < lo {
+			break
+		}
+		n++
+		if v[i] > target {
+			bad++
+		}
+	}
+	if n == 0 || budget <= 0 {
+		return 0, n
+	}
+	return (float64(bad) / float64(n)) / budget, n
+}
+
+// Evaluate runs the multi-window burn-rate rule against snap as of sim
+// time now.
+func (o SLO) Evaluate(snap []SeriesJSON, now sim.Time) SLOResult {
+	maxBurn := o.MaxBurn
+	if maxBurn <= 0 {
+		maxBurn = 1
+	}
+	t, v := o.values(snap)
+	shortBurn, _ := burn(t, v, int64(now), o.Short, o.Target, o.Budget)
+	longBurn, n := burn(t, v, int64(now), o.Long, o.Target, o.Budget)
+	return SLOResult{
+		Name:      o.Name,
+		ShortBurn: shortBurn,
+		LongBurn:  longBurn,
+		Samples:   n,
+		Burning:   n > 0 && shortBurn >= maxBurn && longBurn >= maxBurn,
+	}
+}
+
+// EvaluateSLOs runs every objective against one snapshot.
+func EvaluateSLOs(slos []SLO, snap []SeriesJSON, now sim.Time) []SLOResult {
+	out := make([]SLOResult, len(slos))
+	for i, o := range slos {
+		out[i] = o.Evaluate(snap, now)
+	}
+	return out
+}

@@ -142,6 +142,16 @@ type Engine struct {
 
 	// free is the event pool (chained through Event.next).
 	free *Event
+
+	// Passive sampling hook (SetSampler). The hook rides on clock
+	// advances instead of scheduled events: it consumes no sequence
+	// numbers and no PRNG draws, so installing it cannot perturb the
+	// (at, seq) FIFO order among simultaneous events — runs are
+	// bit-identical with sampling on or off. Disabled cost is a single
+	// nil check per fire.
+	sampleFn     func(Time)
+	samplePeriod Time
+	sampleNext   Time
 }
 
 // New returns an engine whose PRNG is seeded deterministically from seed.
@@ -422,6 +432,9 @@ func (e *Engine) fire(ev *Event) {
 		panic("sim: event wheel produced time regression")
 	}
 	e.now = ev.at
+	if e.sampleFn != nil && e.now >= e.sampleNext {
+		e.runSampler()
+	}
 	ev.state = stateFired
 	ev.loc = locNone
 	e.fired++
@@ -467,6 +480,40 @@ func (e *Engine) RunUntil(t Time) {
 	}
 	if !e.stopped && e.now < t {
 		e.now = t
+		if e.sampleFn != nil && e.now >= e.sampleNext {
+			e.runSampler()
+		}
+	}
+}
+
+// SetSampler installs fn as the engine's passive sampling hook: it is
+// invoked once per elapsed period boundary, with the boundary time, the
+// first time the clock reaches or crosses it. The hook runs before the
+// event that advanced the clock, so it observes the simulated state as of
+// the boundary. It must not schedule events or draw from the PRNG —
+// sampling is an observer, and keeping it off the event queue is what
+// makes runs bit-identical whether or not it is installed. A nil fn or
+// non-positive period uninstalls the hook.
+func (e *Engine) SetSampler(period Time, fn func(Time)) {
+	if fn == nil || period <= 0 {
+		e.sampleFn = nil
+		e.samplePeriod, e.sampleNext = 0, 0
+		return
+	}
+	e.sampleFn = fn
+	e.samplePeriod = period
+	e.sampleNext = e.now + period
+}
+
+// runSampler catches the hook up to the current clock: one call per
+// period boundary in (prev, now]. Gaps between events are fine — gauges
+// only change at events, so the state observed at each missed boundary is
+// exactly the state that held then. Outlined to keep fire's hot path
+// small.
+func (e *Engine) runSampler() {
+	for e.now >= e.sampleNext {
+		e.sampleFn(e.sampleNext)
+		e.sampleNext += e.samplePeriod
 	}
 }
 

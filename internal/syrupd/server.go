@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"syrup/internal/metrics"
+	"syrup/internal/obs"
 	"syrup/internal/policy"
 	"syrup/internal/trace"
 )
@@ -19,7 +20,7 @@ import (
 
 // Request is one client command.
 type Request struct {
-	Op string `json:"op"` // register_app | deploy | revoke_app | unquarantine | links | map_lookup | map_update | list_policies | stats | trace
+	Op string `json:"op"` // register_app | deploy | revoke_app | unquarantine | links | map_lookup | map_update | list_policies | stats | trace | metrics | timeseries | profile
 
 	// register_app
 	App   uint32   `json:"app,omitempty"`
@@ -45,6 +46,9 @@ type Request struct {
 	// stats: Delta reports counters as increments since the previous
 	// Delta snapshot instead of cumulative totals.
 	Delta bool `json:"delta,omitempty"`
+
+	// profile: Annotate includes the hotness-annotated disassembly.
+	Annotate bool `json:"annotate,omitempty"`
 }
 
 // Response is the server's reply.
@@ -73,6 +77,20 @@ type Response struct {
 	Spans   []trace.SpanJSON `json:"spans,omitempty"`
 	Total   uint64           `json:"total,omitempty"`   // spans recorded since Reset
 	Dropped uint64           `json:"dropped,omitempty"` // overwritten by the ring
+
+	// stats / metrics / timeseries / profile: NowNS is the host's sim
+	// clock at reply time, so repeated delta snapshots normalize into
+	// true rates.
+	NowNS int64 `json:"now_ns,omitempty"`
+
+	// metrics: Prometheus text exposition.
+	Text string `json:"text,omitempty"`
+
+	// timeseries
+	Series []obs.SeriesJSON `json:"series,omitempty"`
+
+	// profile
+	Profiles []ProfileInfo `json:"profiles,omitempty"`
 }
 
 // Server serves the control protocol for one Daemon. All handling is
@@ -223,7 +241,7 @@ func (s *Server) Handle(req *Request) Response {
 	case "list_policies":
 		return Response{OK: true, Policies: policy.Names()}
 	case "stats":
-		resp := Response{OK: true, Stats: map[string]float64{}}
+		resp := Response{OK: true, Stats: map[string]float64{}, NowNS: int64(s.d.Now())}
 		if s.StatsFunc != nil {
 			resp.Stats = s.StatsFunc()
 		}
@@ -250,6 +268,19 @@ func (s *Server) Handle(req *Request) Response {
 			putStat(resp.Stats, name+"_p999_us", float64(sum.P999)/1e3)
 		}
 		return resp
+	case "metrics":
+		// Prometheus text exposition: counters, registered histograms,
+		// and the latest point of every telemetry series (when the host
+		// runs a sampler).
+		return Response{OK: true, Text: obs.PromText(s.d.Obs(), s.d.Now()), NowNS: int64(s.d.Now())}
+	case "timeseries":
+		st := s.d.Obs()
+		if st == nil {
+			return errResp(fmt.Errorf("syrupd: telemetry is not enabled on this host"))
+		}
+		return Response{OK: true, Series: st.Snapshot(), NowNS: int64(s.d.Now())}
+	case "profile":
+		return Response{OK: true, Profiles: s.d.Profiles(req.Annotate), NowNS: int64(s.d.Now())}
 	case "trace":
 		r := s.d.Tracer()
 		if r == nil {

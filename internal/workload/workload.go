@@ -245,6 +245,12 @@ func (g *Generator) scheduleNext() {
 // Stop halts the arrival process early.
 func (g *Generator) Stop() { g.stopped = true }
 
+// LiveStats exposes the per-class RunStats (indexed like Config.Classes)
+// that Complete updates in place during the run, so a telemetry sampler
+// can read counts and latency percentiles mid-run. Result finalizes the
+// same objects.
+func (g *Generator) LiveStats() []*metrics.RunStats { return g.perCls }
+
 func (g *Generator) send(measured bool) {
 	rng := g.eng.Rand()
 	// Pick a class by weight.

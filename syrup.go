@@ -29,6 +29,7 @@ import (
 	"syrup/internal/kernel"
 	"syrup/internal/netstack"
 	"syrup/internal/nic"
+	"syrup/internal/obs"
 	"syrup/internal/policy"
 	"syrup/internal/sim"
 	"syrup/internal/storage"
@@ -117,6 +118,18 @@ type HostConfig struct {
 	// escape hatch, mirroring NoJIT). Results are bit-identical either
 	// way; use it to bisect a suspect optimization in the field.
 	PolicyNoOpt bool
+	// Telemetry, when set, builds the host's time-series sampler
+	// (internal/obs) and attaches it to the engine's passive sampling
+	// hook: datapath gauges (softirq backlog, ring occupancy, NIC
+	// inflight, runnable ghOSt threads, quarantined links) are sampled
+	// every Period. The hook schedules no events and draws no
+	// randomness, so runs are bit-identical with telemetry on or off
+	// (gated by make obs-diff). Off by default.
+	Telemetry *obs.Config
+	// PolicyProfile deploys this host's policies with per-instruction
+	// profiling (the per-host form of ebpf.LoadOptions.Profile;
+	// SYRUP_EBPF_NOPROFILE vetoes process-wide).
+	PolicyProfile bool
 }
 
 // TraceRecorder is the cross-stack span recorder (see internal/trace).
@@ -204,6 +217,11 @@ type Host struct {
 	// Faults is the compiled chaos injector (nil unless HostConfig.Faults
 	// was set); Faults.Counts() reports per-site injections after a run.
 	Faults *faults.Injector
+	// Obs is the telemetry sampler wired at construction (nil unless
+	// HostConfig.Telemetry was set). Register additional gauges, rates,
+	// and histograms on it before the run starts; its store backs the
+	// syrupd timeseries/metrics ops.
+	Obs *obs.Sampler
 }
 
 // NewHost builds a host: NIC wired to the kernel network stack, CPUs under
@@ -258,6 +276,20 @@ func TryNewHost(cfg HostConfig) (*Host, error) {
 	}
 	if cfg.PolicyNoOpt {
 		h.Daemon.SetPolicyNoOpt(true)
+	}
+	if cfg.PolicyProfile {
+		h.Daemon.SetPolicyProfile(true)
+	}
+	if cfg.Telemetry != nil {
+		sa := obs.NewSampler(*cfg.Telemetry)
+		sa.Gauge("softirq_backlog", func() float64 { return float64(stack.SoftirqBacklog()) })
+		sa.Gauge("nic_inflight", func() float64 { return float64(dev.InflightTotal()) })
+		sa.Gauge("nic_ring_occupancy", func() float64 { return float64(dev.RingOccupancy()) })
+		sa.Gauge("ghost_runnable", func() float64 { return float64(h.Daemon.GhostRunnable()) })
+		sa.Gauge("quarantined_links", func() float64 { return float64(h.Daemon.QuarantinedCount()) })
+		sa.Attach(eng)
+		h.Obs = sa
+		h.Daemon.SetObs(sa.Store())
 	}
 	return h, nil
 }

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race lint-hooks lint-metrics trace-check alloc-gates chaos cluster-diff opt-diff obs-diff check bench bench-cluster bench-dispatch bench-engine bench-datapath bench-policy bench-profile fuzz clean
+.PHONY: build test vet race lint-hooks lint-metrics trace-check alloc-gates chaos cluster-diff opt-diff obs-diff adapt-diff check bench bench-cluster bench-dispatch bench-engine bench-datapath bench-policy bench-profile fuzz clean
 
 build:
 	$(GO) build ./...
@@ -93,10 +93,23 @@ obs-diff:
 	$(GO) test -run 'TestProfile|TestAnnotatedDisasm' ./internal/ebpf/
 	$(GO) test -run 'TestObsDifferential' ./internal/experiments/
 
+# Adaptive-control gate (see DESIGN.md "Adaptive control loop"): the
+# controller's detector/debounce unit suite under the race detector, the
+# syrupd/cluster wiring, then the experiments-level differential — an
+# armed controller whose rules never fire must leave the simulation
+# bit-identical to a run without one — plus the committed demo's exact
+# decision trace, its replay determinism, and the frontier domination
+# over every static policy.
+adapt-diff:
+	$(GO) test -race ./internal/adapt/
+	$(GO) test -run 'TestAdapt|TestRollout' ./internal/cluster/ ./internal/syrupd/
+	$(GO) test -run 'TestAdapt' ./internal/experiments/
+
 # check is the PR gate: build, vet, lints, race-test the VM + hooks +
 # observability, alloc gates, chaos suite, cluster determinism gate,
-# optimizer differential gate, telemetry gate, then the full suite.
-check: build vet lint-hooks lint-metrics race trace-check alloc-gates chaos cluster-diff opt-diff obs-diff test
+# optimizer differential gate, telemetry gate, adaptive-control gate,
+# then the full suite.
+check: build vet lint-hooks lint-metrics race trace-check alloc-gates chaos cluster-diff opt-diff obs-diff adapt-diff test
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -28,6 +28,15 @@
 //
 //	syrup-bench -hosts 32
 //	syrup-bench -hosts 32 -workers 4 -app mica -flows 2097152
+//
+// With -adapt it runs the closed-loop adaptive scheduling demo: the
+// diurnal+burst two-tenant scenario under every static policy and under
+// the adapt controller (fire on LS p99 SLO burn -> shed, clear on
+// offered load -> round_robin), printing each contestant's point on the
+// latency/goodput frontier plus the controller's decision log:
+//
+//	syrup-bench -adapt
+//	syrup-bench -adapt -seed 7
 package main
 
 import (
@@ -60,6 +69,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed for -breakdown/-trace/-faults")
 	batch := flag.Int("batch", 0, "NAPI-style datapath drain budget (0/1 = per-packet; results are bit-identical across batch sizes, only wall-clock changes)")
 	hosts := flag.Int("hosts", 0, "run the fleet-scale cluster scenario on N hosts behind the Maglev L4 LB")
+	adaptDemo := flag.Bool("adapt", false, "run the closed-loop adaptive scheduling demo (controller vs every static policy)")
 	workers := flag.Int("workers", 0, "simulation worker-pool size for sweeps and cluster runs (0 = one per CPU; results are bit-identical at any width)")
 	flows := flag.Int("flows", 0, "cluster flow-pool size for -hosts (default 1048576)")
 	lsFrac := flag.Float64("ls-frac", 0, "latency-sensitive load share for -hosts app=rocksdb (default 0.5)")
@@ -71,6 +81,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "       syrup-bench [-fast] -breakdown|-trace file [-load RPS] [-scan-pct P] [-policy NAME] [-seed N]\n")
 		fmt.Fprintf(os.Stderr, "       syrup-bench [-fast] -faults plan|@file|default [-load RPS] [-scan-pct P] [-policy NAME] [-seed N]\n")
 		fmt.Fprintf(os.Stderr, "       syrup-bench [-fast] -hosts N [-workers W] [-app rocksdb|mica] [-flows F] [-ls-frac P] [-load RPS] [-seed N]\n")
+		fmt.Fprintf(os.Stderr, "       syrup-bench -adapt [-seed N]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -84,7 +95,7 @@ func main() {
 		os.Setenv(ebpf.EnvNoOpt, "")
 	}
 	traced := *breakdown || *traceOut != ""
-	single := traced || *faultsPlan != "" || *hosts > 0
+	single := traced || *faultsPlan != "" || *hosts > 0 || *adaptDemo
 	if (flag.NArg() != 1 && !single) || (flag.NArg() != 0 && single) {
 		flag.Usage()
 		os.Exit(2)
@@ -95,6 +106,10 @@ func main() {
 	}
 	if *hosts > 0 && (traced || *faultsPlan != "") {
 		fmt.Fprintf(os.Stderr, "syrup-bench: -hosts cannot be combined with -breakdown/-trace/-faults\n")
+		os.Exit(2)
+	}
+	if *adaptDemo && (traced || *faultsPlan != "" || *hosts > 0) {
+		fmt.Fprintf(os.Stderr, "syrup-bench: -adapt cannot be combined with -breakdown/-trace/-faults/-hosts\n")
 		os.Exit(2)
 	}
 
@@ -134,6 +149,19 @@ func main() {
 				os.Exit(1)
 			}
 		}()
+	}
+
+	if *adaptDemo {
+		cfg := experiments.DefaultAdaptive()
+		seedSet := false
+		flag.Visit(func(f *flag.Flag) { seedSet = seedSet || f.Name == "seed" })
+		if seedSet {
+			cfg.Seed = *seed
+		}
+		start := time.Now()
+		fmt.Print(experiments.Adaptive(cfg).Format())
+		fmt.Printf("\n[adaptive demo completed in %v]\n", time.Since(start).Round(time.Millisecond))
+		return
 	}
 
 	if *hosts > 0 {

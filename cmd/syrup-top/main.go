@@ -1,8 +1,9 @@
 // Command syrup-top renders a fleet's telemetry as a top(1)-style text
 // dashboard: one row per host (RPS, latency percentiles, drop rate,
 // quarantined deployments, an RPS sparkline), the fleet-merged totals,
-// SLO burn-rate state, and the top-K hottest deployed policies by
-// profiled wall time.
+// SLO burn-rate state, the top-K hottest deployed policies by profiled
+// wall time, and — when a host runs the adapt controller — its decision
+// log as per-host annotations.
 //
 // Live mode scrapes syrupd control sockets through the timeseries and
 // profile ops:
@@ -152,6 +153,11 @@ func scrape(paths []string) (*cluster.FleetSnapshot, error) {
 		if pr, err := c.Do(&syrupd.Request{Op: "profile"}); err == nil {
 			hs.Profiles = pr.Profiles
 		}
+		// Hosts without adaptive control answer with an error; that just
+		// leaves the annotations empty.
+		if ah, err := c.Do(&syrupd.Request{Op: "adapt_history"}); err == nil {
+			hs.Decisions = ah.Decisions
+		}
 		c.Close()
 		snap.Hosts = append(snap.Hosts, hs)
 		series = append(series, hs.Series)
@@ -263,8 +269,26 @@ func render(out io.Writer, snap *cluster.FleetSnapshot, topK, sparkW int) {
 		fmt.Fprintf(out, "%10s %4s %-14s %-14s %10s %9s %7s\n",
 			"host", "app", "hook", "program", "runs", "ns/run", "hot_pc")
 		for _, h := range hot {
-			fmt.Fprintf(out, "%10s %4d %-14s %-14s %10d %9.1f %7d\n",
-				h.host, h.App, h.Hook, h.Program, h.Runs, h.NsPerRun, hotPC(h.Hits))
+			pc := "-"
+			if i := hotPC(h.Hits); i >= 0 {
+				pc = strconv.Itoa(i)
+			}
+			fmt.Fprintf(out, "%10s %4d %-14s %-14s %10d %9.1f %7s\n",
+				h.host, h.App, h.Hook, h.Program, h.Runs, h.NsPerRun, pc)
+		}
+	}
+
+	annotated := false
+	for _, hs := range snap.Hosts {
+		if len(hs.Decisions) == 0 {
+			continue
+		}
+		if !annotated {
+			fmt.Fprintf(out, "\ncontroller decisions\n")
+			annotated = true
+		}
+		for _, d := range hs.Decisions {
+			fmt.Fprintf(out, "%10s %s\n", hs.Host, d)
 		}
 	}
 }
@@ -299,8 +323,13 @@ func hotPolicies(snap *cluster.FleetSnapshot) []hotRow {
 	return rows
 }
 
-// hotPC is the hottest instruction slot (argmax of the hit counters).
+// hotPC is the hottest instruction slot (argmax of the hit counters),
+// or -1 when the profile recorded no per-slot hits — a deployment that
+// was profiled but never ran has an empty counter array, not slot 0.
 func hotPC(hits []uint64) int {
+	if len(hits) == 0 {
+		return -1
+	}
 	pc := 0
 	for i, h := range hits {
 		if h > hits[pc] {

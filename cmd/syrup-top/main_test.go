@@ -68,6 +68,49 @@ func TestRenderRecordedSnapshot(t *testing.T) {
 	}
 }
 
+// TestRenderHostileSnapshot: a fresh host (series registered, zero
+// points), a host with exactly one sample, and a torn recording (a
+// timestamp with no value) must all render as rows, not panics — the
+// scrape-before-first-tick case. An unrun profile (empty hit counters)
+// shows "-" instead of claiming slot 0 is hot, an objective over an
+// absent series reports NO-DATA instead of ok, and a host that carries
+// controller decisions gets them rendered as annotations.
+func TestRenderHostileSnapshot(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{
+		"-snapshot", filepath.Join("testdata", "empty.json"),
+		"-slo", "ls_p99:latency_LS_p99_us:500:0.5",
+		"-slo", "fresh:no_such_series:1:0.5",
+	}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"fleet @ 2.0ms virtual, 3 hosts",
+		"fresh-00", "young-01", "torn-02", "FLEET",
+		"ls_p99 short=0.00x long=0.00x n=1 ok",
+		"fresh short=0.00x long=0.00x n=0 NO-DATA",
+		"controller decisions",
+		"ls_burn    fire     swap app=1 socket_select -> shed (short=2.10x)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// The idle profile renders a "-" hot_pc, right-aligned in its column.
+	if !strings.Contains(out, " 0.0       -") {
+		t.Errorf("idle profile should render hot_pc '-':\n%s", out)
+	}
+	// One sample renders a one-bar sparkline on the young host's table
+	// row (its decision annotation also names the host; skip that).
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "young-01") && strings.Contains(line, "700") && !strings.HasSuffix(line, "▁") {
+			t.Errorf("one-point sparkline missing on %q", line)
+		}
+	}
+}
+
 // TestLiveScrapeMatchesRecording: scrape a real 4-host fleet over its
 // syrupd sockets, record the snapshot, and confirm the recorded render is
 // byte-identical to the live one.

@@ -51,8 +51,9 @@ func main() {
 	}
 	var telemetry *obs.Config
 	if *obsPeriodUS > 0 {
-		// Counter folding is safe here: this process runs exactly one host,
-		// so the process-global registry is all ours.
+		// Counter folding: this process runs exactly one host, so the
+		// process-global registry is all ours; the sampler's private
+		// cursor keeps its deltas independent of the stats op's.
 		telemetry = &obs.Config{Period: sim.Time(*obsPeriodUS) * sim.Microsecond, Counters: true}
 	}
 	host, app := syrup.MustHostApp(syrup.HostConfig{

@@ -1,0 +1,210 @@
+package cluster
+
+// Fleet arms of the closed-loop controller: rule tables roll out the
+// same way policies do (canaries first, bake, gate, then everyone), and
+// quarantines lifted fleet-wide mirror the per-host Unquarantine.
+
+import (
+	"fmt"
+
+	"syrup"
+	"syrup/internal/adapt"
+	"syrup/internal/obs"
+	"syrup/internal/sim"
+)
+
+// RuleRolloutConfig describes a staged fleet rollout of an adaptive rule
+// table (adapt.Config). The gate watches two signals during the canary
+// bake: actuation errors in the canaries' decision histories (a rule
+// whose action fails on real hosts is broken config), and optional SLOs
+// over the canaries' merged telemetry — a rule table must not make the
+// canaries worse while it bakes.
+type RuleRolloutConfig struct {
+	// Rules is the controller table to arm.
+	Rules adapt.Config
+	// Canaries is the stage-1 host count (default ceil(Hosts/8), min 1).
+	Canaries int
+	// Bake is the virtual time each canary runs the controller before
+	// health evaluation (default 2ms).
+	Bake sim.Time
+	// App/Probes, when set, drive synthetic probe traffic through the
+	// canaries during the bake exactly as policy rollouts do — detectors
+	// need traffic to see anything.
+	App    uint32
+	Probes int
+	// SLOs gate the canaries' merged telemetry at bake end; zero
+	// Short/Long windows default to Bake/4 and Bake. No-data extends the
+	// bake up to MaxExtend times (default 3) before aborting.
+	SLOs      []obs.SLO
+	MaxExtend int
+}
+
+// RuleRolloutReport records one rule-table rollout.
+type RuleRolloutReport struct {
+	Canaries []int
+	// Decisions is the total canary decision count during the bake;
+	// Errors collects every failed actuation (rendered decisions).
+	Decisions int
+	Errors    []string
+	// SLOResults / Extended mirror RolloutReport.
+	SLOResults []obs.SLOResult
+	Extended   int
+	Aborted    bool
+	Reason     string
+	// Enabled counts members running the controller after the rollout.
+	Enabled int
+}
+
+func (r *RuleRolloutReport) String() string {
+	if r.Aborted {
+		return fmt.Sprintf("rule rollout ABORTED after canary stage %v: %s (%d decisions, %d errors)",
+			r.Canaries, r.Reason, r.Decisions, len(r.Errors))
+	}
+	return fmt.Sprintf("rule rollout ok: canaries %v baked clean (%d decisions), controller on %d hosts",
+		r.Canaries, r.Decisions, r.Enabled)
+}
+
+func (cfg *RuleRolloutConfig) fill(hosts int) {
+	if cfg.Canaries <= 0 {
+		cfg.Canaries = (hosts + 7) / 8
+	}
+	if cfg.Canaries > hosts {
+		cfg.Canaries = hosts
+	}
+	if cfg.Bake == 0 {
+		cfg.Bake = 2 * sim.Millisecond
+	}
+	for i := range cfg.SLOs {
+		if cfg.SLOs[i].Short == 0 {
+			cfg.SLOs[i].Short = cfg.Bake / 4
+		}
+		if cfg.SLOs[i].Long == 0 {
+			cfg.SLOs[i].Long = cfg.Bake
+		}
+	}
+	if cfg.MaxExtend <= 0 {
+		cfg.MaxExtend = 3
+	}
+}
+
+// RolloutRules arms an adaptive rule table across the fleet in two
+// stages: enable on the canary subset, bake under (optional) probe
+// traffic, inspect the canaries' decision histories for failed
+// actuations and their merged telemetry against the SLOs, and only then
+// enable fleet-wide. An aborted rollout disarms the canaries, so a bad
+// table never outlives its bake.
+func (c *Cluster) RolloutRules(cfg RuleRolloutConfig) (*RuleRolloutReport, error) {
+	cfg.fill(len(c.Members))
+	order := c.CanaryOrder()
+	canaries := append([]int(nil), order[:cfg.Canaries]...)
+	rep := &RuleRolloutReport{Canaries: canaries}
+
+	// The probe path reuses the policy rollout's bake machinery.
+	probeCfg := RolloutConfig{App: cfg.App, Bake: cfg.Bake, Probes: cfg.Probes}
+
+	for _, idx := range canaries {
+		if _, err := c.Members[idx].Host.Daemon.EnableAdapt(cfg.Rules); err != nil {
+			return nil, fmt.Errorf("cluster: %s: %w", c.Members[idx].Name, err)
+		}
+	}
+	bakeAll := func() {
+		for _, idx := range canaries {
+			c.bake(c.Members[idx], probeCfg)
+		}
+	}
+	bakeAll()
+
+	gather := func() {
+		rep.Decisions, rep.Errors = 0, nil
+		for _, idx := range canaries {
+			ctl := c.Members[idx].Host.Daemon.AdaptController()
+			for _, d := range ctl.History() {
+				rep.Decisions++
+				if d.Err != "" {
+					rep.Errors = append(rep.Errors, fmt.Sprintf("%s: %s", c.Members[idx].Name, d.String()))
+				}
+			}
+		}
+	}
+	gather()
+	abortReason := ""
+	if len(rep.Errors) > 0 {
+		abortReason = fmt.Sprintf("%d canary actuation error(s): %s", len(rep.Errors), rep.Errors[0])
+	}
+
+	// SLO gate with the same no-data-extends-bake discipline as policy
+	// rollouts.
+	if abortReason == "" && len(cfg.SLOs) > 0 {
+		for {
+			snap := c.canarySnapshot(canaries)
+			rep.SLOResults = snap.EvaluateSLOs(cfg.SLOs)
+			noData := false
+			for _, r := range rep.SLOResults {
+				if r.Burning {
+					abortReason = fmt.Sprintf("SLO %s burning (short %.2fx, long %.2fx over %d samples)",
+						r.Name, r.ShortBurn, r.LongBurn, r.Samples)
+					break
+				}
+				if r.NoData {
+					noData = true
+				}
+			}
+			if abortReason != "" || !noData {
+				break
+			}
+			if rep.Extended >= cfg.MaxExtend {
+				abortReason = fmt.Sprintf("SLO gate still has no data after %d bake extension(s)", rep.Extended)
+				break
+			}
+			rep.Extended++
+			bakeAll()
+			gather()
+			if len(rep.Errors) > 0 {
+				abortReason = fmt.Sprintf("%d canary actuation error(s): %s", len(rep.Errors), rep.Errors[0])
+				break
+			}
+		}
+	}
+
+	if abortReason != "" {
+		rep.Aborted = true
+		rep.Reason = abortReason
+		for _, idx := range canaries {
+			c.Members[idx].Host.Daemon.DisableAdapt()
+		}
+		return rep, nil
+	}
+
+	// Stage 2: arm the rest of the fleet, in canary order for determinism.
+	for _, idx := range order[cfg.Canaries:] {
+		if _, err := c.Members[idx].Host.Daemon.EnableAdapt(cfg.Rules); err != nil {
+			return nil, fmt.Errorf("cluster: %s: %w", c.Members[idx].Name, err)
+		}
+	}
+	rep.Enabled = len(c.Members)
+	return rep, nil
+}
+
+// Unquarantine lifts (app, hook) on every member that has it locally
+// quarantined — the operator-facing inverse of EscalateQuarantines. It
+// returns how many hosts were re-armed, and mirrors the per-host
+// Unquarantine's idempotence contract: lifting a quarantine that exists
+// nowhere on the fleet is an error, so a double fleet-unquarantine
+// fails loudly instead of masking operator confusion.
+func (c *Cluster) Unquarantine(app uint32, hk syrup.Hook) (int, error) {
+	n := 0
+	for _, m := range c.Members {
+		d := m.Host.Daemon
+		if d.App(app) == nil || !d.Quarantined(app, hk) {
+			continue
+		}
+		if err := d.Unquarantine(app, hk); err != nil {
+			return n, fmt.Errorf("cluster: %s: %w", m.Name, err)
+		}
+		n++
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("cluster: app %d is not quarantined at %s on any member", app, hk)
+	}
+	return n, nil
+}

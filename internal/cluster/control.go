@@ -59,6 +59,11 @@ type RolloutConfig struct {
 	// HostConfig.Telemetry on the members; zero Short/Long windows
 	// default to Bake/4 and Bake.
 	SLOs []obs.SLO
+	// MaxExtend caps how many extra bake windows the SLO gate may run
+	// when an objective reports no data (default 3). No-data is "cannot
+	// evaluate", never "pass": the gate extends the bake until evidence
+	// arrives, and aborts when the extensions run out.
+	MaxExtend int
 }
 
 // RolloutReport is the control plane's record of one rollout.
@@ -71,6 +76,9 @@ type RolloutReport struct {
 	// SLOResults holds the canary SLO evaluations when the rollout
 	// configured objectives (in RolloutConfig.SLOs order).
 	SLOResults []obs.SLOResult
+	// Extended counts extra bake windows the SLO gate ran because an
+	// objective had no data yet.
+	Extended int
 	// Aborted reports a failed canary stage; Reason says why. RolledBack
 	// is true when the canaries were restored to the previous release
 	// (false: detached to the kernel default — there was nothing to
@@ -117,6 +125,9 @@ func (cfg *RolloutConfig) fill(hosts int) error {
 		if cfg.SLOs[i].Long == 0 {
 			cfg.SLOs[i].Long = cfg.Bake
 		}
+	}
+	if cfg.MaxExtend <= 0 {
+		cfg.MaxExtend = 3
 	}
 	return nil
 }
@@ -194,14 +205,43 @@ func (c *Cluster) Rollout(cfg RolloutConfig) (*RolloutReport, error) {
 	// SLO gate: evaluate the objectives against the canaries' merged
 	// telemetry as of bake end. A fault-budget abort wins (it is the
 	// cheaper, more specific signal); otherwise any burning objective
-	// aborts through the same rollback path.
+	// aborts through the same rollback path. An objective with no data
+	// extends the bake instead of passing — a gate that cannot see must
+	// not wave the rollout through (the short-bake bug).
 	if abortReason == "" && len(cfg.SLOs) > 0 {
-		snap := c.canarySnapshot(canaries)
-		rep.SLOResults = snap.EvaluateSLOs(cfg.SLOs)
-		for _, r := range rep.SLOResults {
-			if r.Burning {
-				abortReason = fmt.Sprintf("SLO %s burning (short %.2fx, long %.2fx over %d samples)",
-					r.Name, r.ShortBurn, r.LongBurn, r.Samples)
+		for {
+			snap := c.canarySnapshot(canaries)
+			rep.SLOResults = snap.EvaluateSLOs(cfg.SLOs)
+			noData := false
+			for _, r := range rep.SLOResults {
+				if r.Burning {
+					abortReason = fmt.Sprintf("SLO %s burning (short %.2fx, long %.2fx over %d samples)",
+						r.Name, r.ShortBurn, r.LongBurn, r.Samples)
+					break
+				}
+				if r.NoData {
+					noData = true
+				}
+			}
+			if abortReason != "" || !noData {
+				break
+			}
+			if rep.Extended >= cfg.MaxExtend {
+				abortReason = fmt.Sprintf("SLO gate still has no data after %d bake extension(s)", rep.Extended)
+				break
+			}
+			rep.Extended++
+			for _, idx := range canaries {
+				c.bake(c.Members[idx], cfg)
+			}
+			// The extension ran more probes; re-check the fault budget over
+			// the whole (now longer) bake.
+			rep.CanaryFaults = 0
+			for i, idx := range canaries {
+				rep.CanaryFaults += c.hookFaults(idx, cfg.App, cfg.Hook) - before[i]
+			}
+			if rep.CanaryFaults > cfg.FaultBudget {
+				abortReason = fmt.Sprintf("canary faults %d exceed budget %d", rep.CanaryFaults, cfg.FaultBudget)
 				break
 			}
 		}

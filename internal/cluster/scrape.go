@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 
+	"syrup/internal/adapt"
 	"syrup/internal/obs"
 	"syrup/internal/sim"
 	"syrup/internal/syrupd"
@@ -23,6 +24,9 @@ type HostSnapshot struct {
 	NowNS    int64                `json:"now_ns"`
 	Series   []obs.SeriesJSON     `json:"series"`
 	Profiles []syrupd.ProfileInfo `json:"profiles,omitempty"`
+	// Decisions is the host controller's decision history when adaptive
+	// control is enabled (syrup-top renders them as annotations).
+	Decisions []adapt.Decision `json:"decisions,omitempty"`
 }
 
 // FleetSnapshot is one scrape of the whole fleet: per-host series plus
@@ -54,6 +58,11 @@ func scrapeMember(m *Member, profiles bool) (HostSnapshot, bool) {
 		if pr := srv.Handle(&syrupd.Request{Op: "profile"}); pr.OK {
 			hs.Profiles = pr.Profiles
 		}
+	}
+	// Hosts without adaptive control answer with an error; that just
+	// leaves Decisions empty.
+	if ah := srv.Handle(&syrupd.Request{Op: "adapt_history"}); ah.OK {
+		hs.Decisions = ah.Decisions
 	}
 	return hs, true
 }

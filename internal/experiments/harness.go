@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"syrup"
+	"syrup/internal/adapt"
 	"syrup/internal/apps/rocksdb"
 	"syrup/internal/ebpf"
 	"syrup/internal/faults"
@@ -67,9 +68,12 @@ func telemetryConfig() *obs.Config {
 }
 
 // instrumentHost registers the workload-facing series on a telemetry-
-// enabled host: total completion rate (rps), cumulative drop rate across
-// the NIC and stack (drop_rate), and per-class latency percentile series.
-// No-op when the host has no sampler.
+// enabled host: total completion rate (rps), offered load (offered_rps —
+// client pressure, independent of what the policy admits, the adaptive
+// controller's recovery signal), cumulative drop rate across the NIC and
+// stack (drop_rate), and per-class latency series — cumulative
+// percentiles plus the windowed interval percentiles burn-rate SLOs and
+// the adapt controller consume. No-op when the host has no sampler.
 func instrumentHost(host *syrup.Host, gen *workload.Generator, classes []workload.Class) {
 	if host.Obs == nil {
 		return
@@ -82,11 +86,19 @@ func instrumentHost(host *syrup.Host, gen *workload.Generator, classes []workloa
 		}
 		return float64(n)
 	})
+	host.Obs.Rate("offered_rps", func() float64 {
+		var n uint64
+		for _, st := range live {
+			n += st.Offered
+		}
+		return float64(n)
+	})
 	host.Obs.Rate("drop_rate", func() float64 {
 		return float64(host.Stack.Stats.TotalDrops() + host.NIC.Stats.DroppedRing + host.NIC.Stats.DroppedByXDP)
 	})
 	for i, c := range classes {
 		host.Obs.Histogram("latency_"+c.Name, live[i].Latency)
+		host.Obs.WindowHistogram("latency_"+c.Name, live[i].Latency)
 	}
 }
 
@@ -100,6 +112,7 @@ const (
 	PolicyScanAvoid  SocketPolicy = "scan_avoid"
 	PolicySITA       SocketPolicy = "sita"
 	PolicyToken      SocketPolicy = "token"
+	PolicyShed       SocketPolicy = "shed" // drop BE at the hook, round-robin the rest
 )
 
 // rocksPoint describes one RocksDB load point.
@@ -142,6 +155,21 @@ type rocksPoint struct {
 	// watchdog. Both nil leaves the point bit-identical to the seed runs.
 	Faults     *faults.Plan
 	Quarantine *syrupd.QuarantineConfig
+	// RateFn modulates the offered rate over sim time (diurnal cycles,
+	// load bursts); nil keeps the constant Load and the exact PRNG
+	// stream of a constant-rate run.
+	RateFn func(sim.Time) float64
+	// Deadline marks completions within it as goodput
+	// (RunStats.DeadlineHits). Zero disables deadline accounting.
+	Deadline sim.Time
+	// Adapt, when set, arms syrupd's adaptive controller with this rule
+	// table after the initial policy deploy. Needs telemetry — pair it
+	// with ObsPeriod (or the package SetObsPeriod toggle).
+	Adapt *adapt.Config
+	// ObsPeriod, when positive, attaches telemetry at this sampling
+	// period regardless of the package toggle: adaptive points need a
+	// sampler faster than the default for tight detection loops.
+	ObsPeriod sim.Time
 }
 
 const (
@@ -172,6 +200,10 @@ func runRocksPointFull(pt rocksPoint) (*workload.Result, *rocksdb.Server, *syrup
 	if pt.Windows == (Windows{}) {
 		pt.Windows = DefaultWindows
 	}
+	tele := telemetryConfig()
+	if pt.ObsPeriod > 0 {
+		tele = &obs.Config{Period: pt.ObsPeriod}
+	}
 	host, app := syrup.MustHostApp(syrup.HostConfig{
 		Seed:       pt.Seed,
 		NumCPUs:    pt.NumCPUs,
@@ -180,17 +212,19 @@ func runRocksPointFull(pt rocksPoint) (*workload.Result, *rocksdb.Server, *syrup
 		Trace:      pt.Tracer,
 		Faults:     pt.Faults,
 		Quarantine: pt.Quarantine,
-		Telemetry:  telemetryConfig(),
+		Telemetry:  tele,
 	}, rocksApp, rocksUID, rocksPort)
 
 	gen := workload.New(host.Eng, host.NIC, workload.Config{
-		Rate:    pt.Load,
-		Classes: pt.Classes,
-		Flows:   pt.Flows,
-		DstPort: rocksPort,
-		Warmup:  pt.Windows.Warmup,
-		Measure: pt.Windows.Measure,
-		Drain:   pt.Windows.Drain,
+		Rate:     pt.Load,
+		RateFn:   pt.RateFn,
+		Deadline: pt.Deadline,
+		Classes:  pt.Classes,
+		Flows:    pt.Flows,
+		DstPort:  rocksPort,
+		Warmup:   pt.Windows.Warmup,
+		Measure:  pt.Windows.Measure,
+		Drain:    pt.Windows.Drain,
 	})
 	instrumentHost(host, gen, pt.Classes)
 
@@ -249,6 +283,11 @@ func runRocksPointFull(pt rocksPoint) (*workload.Result, *rocksdb.Server, *syrup
 		host.Eng.At(pt.Windows.Warmup+pt.Windows.Measure/2, func() {
 			mustDeploy(app, string(pt.SwapTo), defines)
 		})
+	}
+	if pt.Adapt != nil {
+		if _, err := host.Daemon.EnableAdapt(*pt.Adapt); err != nil {
+			panic(fmt.Sprintf("experiments: enable adapt: %v", err))
+		}
 	}
 
 	// Thread-scheduling policy via the ghOSt hook: GET-priority reading

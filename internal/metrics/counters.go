@@ -12,6 +12,9 @@ type RunStats struct {
 
 	Offered   uint64 // requests injected during the measure window
 	Completed uint64 // responses received during the measure window
+	// DeadlineHits counts completions within the generator's deadline —
+	// the goodput numerator. Zero unless the workload set a Deadline.
+	DeadlineHits uint64
 
 	Drops map[DropCause]uint64
 
@@ -77,6 +80,7 @@ func (r *RunStats) Merge(other *RunStats) {
 	r.Latency.Merge(other.Latency)
 	r.Offered += other.Offered
 	r.Completed += other.Completed
+	r.DeadlineHits += other.DeadlineHits
 	for c, n := range other.Drops {
 		r.Drops[c] += n
 	}

@@ -107,6 +107,12 @@ func CountersSorted() []CounterValue {
 // CountersDelta snapshots every registered counter's increase since its
 // previous delta snapshot (see Counter.SnapshotDelta), for interval
 // rates across repeated stats calls.
+//
+// Deprecated: the baseline is process-global — two consumers calling
+// this partition the increments between them, each seeing only part of
+// the traffic. New consumers use NewCursor, which gives each its own
+// baseline; this shim remains for operational one-shot use (a single
+// shutdown summary) and is kept bug-for-bug compatible.
 func CountersDelta() map[string]uint64 {
 	registryMu.Lock()
 	defer registryMu.Unlock()

@@ -1,0 +1,84 @@
+package metrics
+
+import "math"
+
+// WindowStats summarizes only the samples recorded between two Advance
+// calls of a HistogramWindow.
+type WindowStats struct {
+	Count uint64
+	P50   int64
+	P99   int64
+}
+
+// HistogramWindow derives interval statistics from a live cumulative
+// Histogram without mutating it: each Advance reports the percentiles of
+// the samples recorded since the previous Advance. Cumulative percentiles
+// converge and never come back down after a burst; interval percentiles
+// react immediately and decay the moment the burst ends, which is what
+// burn-rate SLOs and the adapt controller need. Advance is allocation-free
+// (the window keeps its own bucket baseline and scratch).
+type HistogramWindow struct {
+	h    *Histogram
+	prev []uint64
+	diff []uint64
+	// prevCount detects a Reset (or a fresh generation under the same
+	// registration): a shrinking cumulative count rebases the baseline
+	// instead of underflowing the bucket diffs.
+	prevCount uint64
+}
+
+// NewHistogramWindow tracks h; the first Advance covers everything
+// recorded so far.
+func NewHistogramWindow(h *Histogram) *HistogramWindow {
+	return &HistogramWindow{
+		h:    h,
+		prev: make([]uint64, bucketCount),
+		diff: make([]uint64, bucketCount),
+	}
+}
+
+// Advance closes the current interval: it returns the stats of samples
+// recorded since the previous Advance and makes the histogram's current
+// contents the next baseline. An empty interval returns zero stats.
+func (w *HistogramWindow) Advance() WindowStats {
+	if w.h.count < w.prevCount {
+		// The histogram was Reset under us; restart from zero.
+		for i := range w.prev {
+			w.prev[i] = 0
+		}
+	}
+	w.prevCount = w.h.count
+	var n uint64
+	for i, c := range w.h.counts {
+		d := c - w.prev[i]
+		w.diff[i] = d
+		n += d
+		w.prev[i] = c
+	}
+	if n == 0 {
+		return WindowStats{}
+	}
+	return WindowStats{
+		Count: n,
+		P50:   diffPercentile(w.diff, n, 50),
+		P99:   diffPercentile(w.diff, n, 99),
+	}
+}
+
+// diffPercentile is Histogram.Percentile over a raw bucket-count slice
+// (no min/max clamp: the interval's extremes are not tracked, so the
+// bucket lower bound stands, within the 1/64 relative error bound).
+func diffPercentile(counts []uint64, n uint64, p float64) int64 {
+	rank := uint64(math.Ceil(p / 100 * float64(n)))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range counts {
+		seen += c
+		if seen >= rank {
+			return bucketLow(i)
+		}
+	}
+	return bucketLow(len(counts) - 1)
+}

@@ -43,10 +43,17 @@ func PromText(st *Store, now sim.Time) string {
 	return b.String()
 }
 
-// LastPoint returns the last point of a snapshot series.
+// LastPoint returns the last complete point of a snapshot series. A
+// series whose timestamp and value arrays disagree — a torn or
+// hand-truncated recording — yields its last paired point, or no point
+// at all, rather than an index panic.
 func LastPoint(s SeriesJSON) (t int64, v float64, ok bool) {
-	if len(s.T) == 0 {
+	n := len(s.T)
+	if len(s.V) < n {
+		n = len(s.V)
+	}
+	if n == 0 {
 		return 0, 0, false
 	}
-	return s.T[len(s.T)-1], s.V[len(s.V)-1], true
+	return s.T[n-1], s.V[n-1], true
 }

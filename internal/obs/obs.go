@@ -68,6 +68,20 @@ func (s *Series) Last() (t int64, v float64, ok bool) {
 	return s.t[i], s.v[i], true
 }
 
+// Visit calls fn for every held point with t >= from, oldest first,
+// without copying the ring.
+func (s *Series) Visit(from int64, fn func(t int64, v float64)) {
+	for i := 0; i < s.n; i++ {
+		j := s.start + i
+		if j >= len(s.t) {
+			j -= len(s.t)
+		}
+		if s.t[j] >= from {
+			fn(s.t[j], s.v[j])
+		}
+	}
+}
+
 // Snapshot copies the ring out in chronological order.
 func (s *Series) Snapshot() SeriesJSON {
 	out := SeriesJSON{Name: s.name, T: make([]int64, s.n), V: make([]float64, s.n)}
@@ -139,6 +153,50 @@ func (st *Store) Snapshot() []SeriesJSON {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
+}
+
+// Sub is a read cursor over a store: each Poll of a series delivers only
+// the points appended since that series' previous Poll. Subscribers are
+// independent of one another and of snapshot readers — polling consumes
+// nothing from the ring. The adapt controller holds one Sub per rule set
+// so its detectors see each sample exactly once regardless of how the
+// decision period relates to the sampling period.
+type Sub struct {
+	st   *Store
+	seen map[*Series]int64 // newest timestamp already delivered
+}
+
+// Subscribe returns a cursor whose first Poll of any series delivers
+// every point the ring still holds.
+func (st *Store) Subscribe() *Sub {
+	return &Sub{st: st, seen: make(map[*Series]int64)}
+}
+
+// Poll invokes fn for each point of the named series appended since the
+// last Poll of that series (oldest first), advances the cursor, and
+// reports how many points were delivered. A series that does not exist
+// yet delivers nothing. Points that fell off the ring before being
+// polled are gone — the ring is a sliding window, not a queue.
+func (sub *Sub) Poll(name string, fn func(t int64, v float64)) int {
+	s := sub.st.Get(name)
+	if s == nil {
+		return 0
+	}
+	from, ok := sub.seen[s]
+	if ok {
+		from++ // strictly newer than the last delivered point
+	}
+	n := 0
+	last := from
+	s.Visit(from, func(t int64, v float64) {
+		fn(t, v)
+		n++
+		last = t
+	})
+	if n > 0 {
+		sub.seen[s] = last
+	}
+	return n
 }
 
 // percentileSeries reports whether a merged fleet view of name should

@@ -14,12 +14,14 @@ type Config struct {
 	Period sim.Time
 	// Capacity is the per-series ring size in points (default 4096).
 	Capacity int
-	// Counters folds the process-global metrics.CountersDelta() into the
-	// store every tick. CountersDelta is destructive and process-wide, so
-	// this must only be enabled when a single host owns the process
-	// (cmd/syrupd); concurrent hosts (cluster runs, figure sweeps) would
-	// partition the deltas nondeterministically. Per-host telemetry uses
-	// gauges and histograms instead.
+	// Counters folds per-tick counter deltas into the store as
+	// <name>_delta series. The sampler owns a private metrics.Cursor, so
+	// enabling this no longer steals increments from other delta
+	// consumers (syrupd's stats op, the adapt controller). The registry
+	// itself is still process-global, so in multi-host runs (cluster
+	// scenarios, figure sweeps) each sampler would record the sum over
+	// all hosts — per-host telemetry uses gauges and histograms instead,
+	// and this stays reserved for single-host processes (cmd/syrupd).
 	Counters bool
 }
 
@@ -39,17 +41,25 @@ type histReg struct {
 	count, p50, p99, p999 *Series
 }
 
+type winReg struct {
+	w               *metrics.HistogramWindow
+	count, p50, p99 *Series
+}
+
 // Sampler snapshots registered gauges, rates, and histogram percentiles
 // into a Store at every period boundary. Attach it to an engine via
 // Attach; the engine invokes Sample through its passive hook, off the
 // event queue.
 type Sampler struct {
-	store    *Store
-	period   sim.Time
-	counters bool
-	gauges   []gaugeReg
-	rates    []rateReg
-	hists    []histReg
+	store  *Store
+	period sim.Time
+	// cursor is the sampler's private counter-delta baseline (nil when
+	// Config.Counters is off); see metrics.Cursor.
+	cursor *metrics.Cursor
+	gauges []gaugeReg
+	rates  []rateReg
+	hists  []histReg
+	wins   []winReg
 }
 
 // NewSampler builds a sampler and its backing store from cfg.
@@ -58,11 +68,14 @@ func NewSampler(cfg Config) *Sampler {
 	if period <= 0 {
 		period = DefaultPeriod
 	}
-	return &Sampler{
-		store:    NewStore(cfg.Capacity),
-		period:   period,
-		counters: cfg.Counters,
+	sa := &Sampler{
+		store:  NewStore(cfg.Capacity),
+		period: period,
 	}
+	if cfg.Counters {
+		sa.cursor = metrics.NewCursor()
+	}
+	return sa
 }
 
 // Store returns the backing time-series store.
@@ -98,6 +111,22 @@ func (sa *Sampler) Histogram(name string, h *metrics.Histogram) {
 	})
 }
 
+// WindowHistogram registers a live histogram sampled as interval
+// percentiles: every tick records statistics of only the samples that
+// arrived since the previous tick, as <name>_win_count, <name>_win_p50_us
+// and <name>_win_p99_us. Unlike Histogram's cumulative percentiles, these
+// series react to a load change within one tick and decay back once it
+// passes — the form burn-rate SLOs and the adapt controller consume. An
+// empty tick records zeros (no traffic is a healthy sample, not a gap).
+func (sa *Sampler) WindowHistogram(name string, h *metrics.Histogram) {
+	sa.wins = append(sa.wins, winReg{
+		w:     metrics.NewHistogramWindow(h),
+		count: sa.store.Series(name + "_win_count"),
+		p50:   sa.store.Series(name + "_win_p50_us"),
+		p99:   sa.store.Series(name + "_win_p99_us"),
+	})
+}
+
 // Attach installs the sampler on the engine's passive sampling hook.
 func (sa *Sampler) Attach(eng *sim.Engine) { eng.SetSampler(sa.period, sa.Sample) }
 
@@ -123,8 +152,15 @@ func (sa *Sampler) Sample(at sim.Time) {
 		h.p99.Append(at, float64(sum.P99)/1e3)
 		h.p999.Append(at, float64(sum.P999)/1e3)
 	}
-	if sa.counters {
-		for name, delta := range metrics.CountersDelta() {
+	for i := range sa.wins {
+		w := &sa.wins[i]
+		s := w.w.Advance()
+		w.count.Append(at, float64(s.Count))
+		w.p50.Append(at, float64(s.P50)/1e3)
+		w.p99.Append(at, float64(s.P99)/1e3)
+	}
+	if sa.cursor != nil {
+		for name, delta := range sa.cursor.Delta() {
 			sa.store.Series(name+"_delta").Append(at, float64(delta))
 		}
 	}

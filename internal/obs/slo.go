@@ -42,12 +42,22 @@ type SLOResult struct {
 	LongBurn  float64 `json:"long_burn"`
 	Samples   int     `json:"samples"` // points in the long window
 	Burning   bool    `json:"burning"`
+	// NoData reports that at least one burn window held zero samples —
+	// the series is missing, the scrape predates the first sampler tick,
+	// or the window is shorter than the sampling period. A no-data result
+	// is not evidence of health: consumers must treat it as "cannot
+	// evaluate" (cluster.Rollout extends the bake; the adapt controller
+	// freezes the rule), never as a pass.
+	NoData bool `json:"no_data,omitempty"`
 }
 
 // String renders "ls_p99 burn=3.2x/2.1x BURNING"-style summaries.
 func (r SLOResult) String() string {
 	state := "ok"
-	if r.Burning {
+	switch {
+	case r.NoData:
+		state = "NO-DATA"
+	case r.Burning:
 		state = "BURNING"
 	}
 	return fmt.Sprintf("%s short=%.2fx long=%.2fx n=%d %s",
@@ -96,7 +106,9 @@ func (o SLO) values(snap []SeriesJSON) (t []int64, v []float64) {
 }
 
 // burn computes the bad fraction over [now-window, now] divided by the
-// budget. No samples in the window means no evidence: burn 0.
+// budget. No samples in the window means no evidence: burn 0 with n==0,
+// which Evaluate surfaces as an explicit NoData verdict rather than
+// letting an empty window read as healthy.
 func burn(t []int64, v []float64, now int64, window sim.Time, target, budget float64) (float64, int) {
 	lo := now - int64(window)
 	n, bad := 0, 0
@@ -123,15 +135,75 @@ func (o SLO) Evaluate(snap []SeriesJSON, now sim.Time) SLOResult {
 		maxBurn = 1
 	}
 	t, v := o.values(snap)
-	shortBurn, _ := burn(t, v, int64(now), o.Short, o.Target, o.Budget)
-	longBurn, n := burn(t, v, int64(now), o.Long, o.Target, o.Budget)
+	shortBurn, nShort := burn(t, v, int64(now), o.Short, o.Target, o.Budget)
+	longBurn, nLong := burn(t, v, int64(now), o.Long, o.Target, o.Budget)
 	return SLOResult{
 		Name:      o.Name,
 		ShortBurn: shortBurn,
 		LongBurn:  longBurn,
-		Samples:   n,
-		Burning:   n > 0 && shortBurn >= maxBurn && longBurn >= maxBurn,
+		Samples:   nLong,
+		Burning:   nShort > 0 && nLong > 0 && shortBurn >= maxBurn && longBurn >= maxBurn,
+		NoData:    nShort == 0 || nLong == 0,
 	}
+}
+
+// EvaluateStore runs the objective against a live store — the in-process
+// form the adapt controller evaluates every decision tick, with no
+// snapshot copy on the Denom-free fast path.
+func (o SLO) EvaluateStore(st *Store, now sim.Time) SLOResult {
+	if o.Denom != "" {
+		// Ratio objectives align two series pointwise; materialize both
+		// and share the snapshot path.
+		snap := make([]SeriesJSON, 0, 2)
+		if num := st.Get(o.Series); num != nil {
+			snap = append(snap, num.Snapshot())
+		}
+		if den := st.Get(o.Denom); den != nil {
+			snap = append(snap, den.Snapshot())
+		}
+		return o.Evaluate(snap, now)
+	}
+	maxBurn := o.MaxBurn
+	if maxBurn <= 0 {
+		maxBurn = 1
+	}
+	s := st.Get(o.Series)
+	shortBurn, nShort := burnSeries(s, int64(now), o.Short, o.Target, o.Budget)
+	longBurn, nLong := burnSeries(s, int64(now), o.Long, o.Target, o.Budget)
+	return SLOResult{
+		Name:      o.Name,
+		ShortBurn: shortBurn,
+		LongBurn:  longBurn,
+		Samples:   nLong,
+		Burning:   nShort > 0 && nLong > 0 && shortBurn >= maxBurn && longBurn >= maxBurn,
+		NoData:    nShort == 0 || nLong == 0,
+	}
+}
+
+// burnSeries is burn over a live ring (newest backward, no copy).
+func burnSeries(s *Series, now int64, window sim.Time, target, budget float64) (float64, int) {
+	if s == nil {
+		return 0, 0
+	}
+	lo := now - int64(window)
+	n, bad := 0, 0
+	for i := s.n - 1; i >= 0; i-- {
+		j := s.start + i
+		if j >= len(s.t) {
+			j -= len(s.t)
+		}
+		if s.t[j] < lo {
+			break
+		}
+		n++
+		if s.v[j] > target {
+			bad++
+		}
+	}
+	if n == 0 || budget <= 0 {
+		return 0, n
+	}
+	return (float64(bad) / float64(n)) / budget, n
 }
 
 // EvaluateSLOs runs every objective against one snapshot.

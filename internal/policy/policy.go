@@ -27,6 +27,9 @@ const (
 	NameSITA       = "sita"
 	NameToken      = "token"
 	NameMicaHash   = "mica_hash"
+	// NameShed drops the best-effort tenant at the hook and round-robins
+	// the rest — the adaptive controller's protective swap under SLO burn.
+	NameShed = "shed"
 	// NamePrio and NameUserWeight are written first-draft style on purpose:
 	// they document what the optimizing middle-end recovers from naive
 	// policy code (see DESIGN.md "Optimizer" and `syrup-policy doctor`).
@@ -36,7 +39,7 @@ const (
 
 // Names lists the built-in policies.
 func Names() []string {
-	return []string{NameHash, NameRoundRobin, NameScanAvoid, NameSITA, NameToken, NameMicaHash, NamePrio, NameUserWeight}
+	return []string{NameHash, NameRoundRobin, NameScanAvoid, NameSITA, NameToken, NameMicaHash, NameShed, NamePrio, NameUserWeight}
 }
 
 // Source returns the .syr source of a built-in policy.

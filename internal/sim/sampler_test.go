@@ -19,9 +19,9 @@ func TestSamplerBoundaries(t *testing.T) {
 	e.SetSampler(10, func(at Time) { got = append(got, sample{at, counter}) })
 
 	e.At(3, func() { counter = 1 })
-	e.At(10, func() { counter = 2 })  // at the boundary: sampled value is pre-event
-	e.At(25, func() { counter = 3 })  // crosses boundary 20
-	e.At(77, func() { counter = 4 })  // gap: boundaries 30..70 catch up first
+	e.At(10, func() { counter = 2 }) // at the boundary: sampled value is pre-event
+	e.At(25, func() { counter = 3 }) // crosses boundary 20
+	e.At(77, func() { counter = 4 }) // gap: boundaries 30..70 catch up first
 	e.Run()
 
 	want := []sample{

@@ -7,6 +7,7 @@ import (
 	"net"
 	"sync"
 
+	"syrup/internal/adapt"
 	"syrup/internal/metrics"
 	"syrup/internal/obs"
 	"syrup/internal/policy"
@@ -20,7 +21,7 @@ import (
 
 // Request is one client command.
 type Request struct {
-	Op string `json:"op"` // register_app | deploy | revoke_app | unquarantine | links | map_lookup | map_update | list_policies | stats | trace | metrics | timeseries | profile
+	Op string `json:"op"` // register_app | deploy | revoke_app | unquarantine | links | map_lookup | map_update | list_policies | stats | trace | metrics | timeseries | profile | adapt_enable | adapt_disable | adapt_status | adapt_rules | adapt_history
 
 	// register_app
 	App   uint32   `json:"app,omitempty"`
@@ -49,6 +50,9 @@ type Request struct {
 
 	// profile: Annotate includes the hotness-annotated disassembly.
 	Annotate bool `json:"annotate,omitempty"`
+
+	// adapt_enable: the controller's rule table.
+	AdaptConfig *adapt.Config `json:"adapt_config,omitempty"`
 }
 
 // Response is the server's reply.
@@ -91,6 +95,11 @@ type Response struct {
 
 	// profile
 	Profiles []ProfileInfo `json:"profiles,omitempty"`
+
+	// adapt_status / adapt_rules / adapt_history
+	Adapt     *adapt.Status      `json:"adapt,omitempty"`
+	Rules     []adapt.RuleStatus `json:"rules,omitempty"`
+	Decisions []adapt.Decision   `json:"decisions,omitempty"`
 }
 
 // Server serves the control protocol for one Daemon. All handling is
@@ -103,11 +112,17 @@ type Server struct {
 	// op (virtual time, throughput, latency percentiles, ...).
 	StatsFunc func() map[string]float64
 
+	// cursor is this server's private counter baseline for the stats op's
+	// Delta mode. Each server owns one, so a fleet scraper taking deltas
+	// from several hosts never clobbers another consumer's baseline (the
+	// old process-global CountersDelta bug).
+	cursor *metrics.Cursor
+
 	ln net.Listener
 }
 
 // NewServer wraps a daemon.
-func NewServer(d *Daemon) *Server { return &Server{d: d} }
+func NewServer(d *Daemon) *Server { return &Server{d: d, cursor: metrics.NewCursor()} }
 
 // Lock acquires the server's big lock; the embedding simulation loop must
 // hold it while running engine events so protocol handling never races the
@@ -247,11 +262,13 @@ func (s *Server) Handle(req *Request) Response {
 		}
 		// Fold in the process-wide counter registry (eBPF dispatch
 		// counters and friends) without clobbering host-supplied keys.
-		// Delta mode reports each counter's increment since the previous
-		// delta snapshot instead of its cumulative total.
+		// Delta mode reports each counter's increment since this server's
+		// previous delta snapshot instead of its cumulative total; the
+		// baseline is per-server, so concurrent consumers (a sampler, a
+		// fleet scraper, the controller) never steal each other's deltas.
 		counters := metrics.Counters()
 		if req.Delta {
-			counters = metrics.CountersDelta()
+			counters = s.cursor.Delta()
 		}
 		for name, v := range counters {
 			if _, taken := resp.Stats[name]; !taken {
@@ -281,6 +298,42 @@ func (s *Server) Handle(req *Request) Response {
 		return Response{OK: true, Series: st.Snapshot(), NowNS: int64(s.d.Now())}
 	case "profile":
 		return Response{OK: true, Profiles: s.d.Profiles(req.Annotate), NowNS: int64(s.d.Now())}
+	case "adapt_enable":
+		if req.AdaptConfig == nil {
+			return errResp(fmt.Errorf("syrupd: adapt_enable needs adapt_config"))
+		}
+		c, err := s.d.EnableAdapt(*req.AdaptConfig)
+		if err != nil {
+			return errResp(err)
+		}
+		st := c.Status()
+		return Response{OK: true, Adapt: &st, NowNS: int64(s.d.Now())}
+	case "adapt_disable":
+		s.d.DisableAdapt()
+		return Response{OK: true, NowNS: int64(s.d.Now())}
+	case "adapt_status":
+		c := s.d.AdaptController()
+		if c == nil {
+			return errResp(fmt.Errorf("syrupd: adaptive control is not enabled on this host"))
+		}
+		st := c.Status()
+		return Response{OK: true, Adapt: &st, NowNS: int64(s.d.Now())}
+	case "adapt_rules":
+		c := s.d.AdaptController()
+		if c == nil {
+			return errResp(fmt.Errorf("syrupd: adaptive control is not enabled on this host"))
+		}
+		return Response{OK: true, Rules: c.Rules(), NowNS: int64(s.d.Now())}
+	case "adapt_history":
+		c := s.d.AdaptController()
+		if c == nil {
+			return errResp(fmt.Errorf("syrupd: adaptive control is not enabled on this host"))
+		}
+		h := c.History()
+		if req.Max > 0 && len(h) > req.Max {
+			h = h[len(h)-req.Max:]
+		}
+		return Response{OK: true, Decisions: h, NowNS: int64(s.d.Now())}
 	case "trace":
 		r := s.d.Tracer()
 		if r == nil {

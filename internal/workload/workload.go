@@ -54,6 +54,17 @@ func (f Flow) Hash() uint32 {
 type Config struct {
 	// Rate is offered load in requests/second across all classes.
 	Rate float64
+	// RateFn, when set, makes the offered rate time-varying: each arrival
+	// gap is drawn against RateFn(now) instead of Rate (diurnal sweeps,
+	// burst plateaus). The exponential draw happens either way, so a nil
+	// RateFn preserves the PRNG stream exactly — runs without it are
+	// bit-identical to builds that predate it. Non-positive returns fall
+	// back to Rate.
+	RateFn func(sim.Time) float64
+	// Deadline, when set, counts completions whose end-to-end latency is
+	// at or under it as RunStats.DeadlineHits — the goodput metric
+	// latency/goodput frontiers plot. Zero disables deadline accounting.
+	Deadline sim.Time
 	// Classes defaults to 100% GET.
 	Classes []Class
 	// Flows is the 5-tuple pool size (50 in Fig. 2); arrivals pick a flow
@@ -217,7 +228,11 @@ func (g *Generator) Complete(reqID uint64, finish sim.Time) {
 	}
 	st := g.perCls[info.class]
 	st.Completed++
-	st.Latency.Record(int64(finish + g.cfg.Wire - info.sentAt))
+	lat := finish + g.cfg.Wire - info.sentAt
+	st.Latency.Record(int64(lat))
+	if g.cfg.Deadline > 0 && lat <= g.cfg.Deadline {
+		st.DeadlineHits++
+	}
 }
 
 // Start schedules the arrival process: sends begin immediately and stop
@@ -231,11 +246,19 @@ func (g *Generator) Start() {
 // scheduleNext draws the next Poisson gap and arms the arrival event. The
 // gap draw stays here — after send()'s class/key/flow draws — so the PRNG
 // consumption order matches run-to-run regardless of engine internals.
+// RateFn only rescales the drawn gap, so time-varying load consumes the
+// stream in exactly the same order.
 func (g *Generator) scheduleNext() {
 	if g.stopped {
 		return
 	}
-	gap := sim.Time(g.eng.Rand().ExpFloat64() / g.cfg.Rate * 1e9)
+	rate := g.cfg.Rate
+	if g.cfg.RateFn != nil {
+		if r := g.cfg.RateFn(g.eng.Now()); r > 0 {
+			rate = r
+		}
+	}
+	gap := sim.Time(g.eng.Rand().ExpFloat64() / rate * 1e9)
 	if gap < 1 {
 		gap = 1
 	}
